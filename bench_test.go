@@ -1,0 +1,207 @@
+// Per-figure benchmarks: every table/figure of the paper's evaluation has
+// a testing.B counterpart here (plus the ablations stated in the text).
+// cmd/mgbench produces the full formatted figures; these benchmarks are
+// the `go test -bench` entry points that regenerate the underlying
+// measurements.
+//
+// Classes S and W run by default; class A (256³, ~4 s per measurement) is
+// exercised by cmd/mgbench and the non-short tests instead of the
+// benchmark loop.
+package repro
+
+import (
+	"io"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/cport"
+	"repro/internal/f77"
+	"repro/internal/harness"
+	"repro/internal/mempool"
+	"repro/internal/nas"
+	"repro/internal/periodic"
+	"repro/internal/sched"
+	"repro/internal/smp"
+	wl "repro/internal/withloop"
+)
+
+// --- Figure 11: single-processor performance ------------------------------------
+
+func benchF77(b *testing.B, class nas.Class) {
+	s := f77.New(class)
+	s.Reset()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.EvalResid()
+		for it := 0; it < class.Iter; it++ {
+			s.MG3P()
+			s.EvalResid()
+		}
+	}
+}
+
+func benchSAC(b *testing.B, class nas.Class) {
+	env := wl.Default()
+	bench := core.NewBenchmark(class, env)
+	bench.Reset()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bench.Solve()
+	}
+}
+
+func benchCPort(b *testing.B, class nas.Class) {
+	s := cport.New(class)
+	s.Reset()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.EvalResid()
+		for it := 0; it < class.Iter; it++ {
+			s.MG3P()
+			s.EvalResid()
+		}
+	}
+}
+
+func BenchmarkFig11_F77_ClassS(b *testing.B) { benchF77(b, nas.ClassS) }
+func BenchmarkFig11_SAC_ClassS(b *testing.B) { benchSAC(b, nas.ClassS) }
+func BenchmarkFig11_C_ClassS(b *testing.B)   { benchCPort(b, nas.ClassS) }
+func BenchmarkFig11_F77_ClassW(b *testing.B) { benchF77(b, nas.ClassW) }
+func BenchmarkFig11_SAC_ClassW(b *testing.B) { benchSAC(b, nas.ClassW) }
+func BenchmarkFig11_C_ClassW(b *testing.B)   { benchCPort(b, nas.ClassW) }
+
+// --- Figures 12/13: profile collection + SMP simulation ---------------------------
+
+// BenchmarkFig12_ProfileAndSimulate measures the full Figure-12 pipeline:
+// probe-instrumented benchmark runs for all three implementations plus the
+// speedup prediction on the simulated Enterprise 4000.
+func BenchmarkFig12_ProfileAndSimulate(b *testing.B) {
+	m := smp.Enterprise4000()
+	for i := 0; i < b.N; i++ {
+		harness.RunFig12(io.Discard, []nas.Class{nas.ClassS}, m)
+	}
+}
+
+// BenchmarkFig13_Rebase measures Figure 13's rebasing on top of a fixed
+// Figure-12 series (the simulation itself, without remeasuring profiles).
+func BenchmarkFig13_Rebase(b *testing.B) {
+	m := smp.Enterprise4000()
+	series := harness.RunFig12(io.Discard, []nas.Class{nas.ClassS}, m)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		harness.RunFig13(io.Discard, series, m)
+	}
+}
+
+// BenchmarkSMP_Predict isolates one cost-model evaluation.
+func BenchmarkSMP_Predict(b *testing.B) {
+	profiles := harness.CollectProfiles(nas.ClassS)
+	m := smp.Enterprise4000()
+	prof := profiles["SAC"]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Predict(prof, smp.SAC, 10)
+	}
+}
+
+// --- T-stencil ablation: what each stencil optimization buys ----------------------
+// (The per-kernel microbenchmarks live in internal/stencil; this is the
+// whole-benchmark view: the modeled compiler levels O0–O3.)
+
+func benchOptLevel(b *testing.B, opt wl.OptLevel) {
+	env := wl.Default()
+	env.Opt = opt
+	bench := core.NewBenchmark(nas.ClassS, env)
+	bench.Reset()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bench.Solve()
+	}
+}
+
+func BenchmarkAblation_OptO0_ClassS(b *testing.B) { benchOptLevel(b, wl.O0) }
+func BenchmarkAblation_OptO1_ClassS(b *testing.B) { benchOptLevel(b, wl.O1) }
+func BenchmarkAblation_OptO2_ClassS(b *testing.B) { benchOptLevel(b, wl.O2) }
+func BenchmarkAblation_OptO3_ClassS(b *testing.B) { benchOptLevel(b, wl.O3) }
+
+// --- T-memmgmt ablation: SAC's memory manager on/off ------------------------------
+
+func benchMemPool(b *testing.B, enabled bool) {
+	env := wl.Default()
+	env.Pool = mempool.New(enabled)
+	bench := core.NewBenchmark(nas.ClassS, env)
+	bench.Reset()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bench.Solve()
+	}
+}
+
+func BenchmarkAblation_MemPoolOn_ClassS(b *testing.B)  { benchMemPool(b, true) }
+func BenchmarkAblation_MemPoolOff_ClassS(b *testing.B) { benchMemPool(b, false) }
+
+// --- scheduling-policy ablation ----------------------------------------------------
+
+func benchPolicy(b *testing.B, policy sched.Policy) {
+	env := wl.Parallel(4)
+	defer env.Close()
+	env.ForOpt.Policy = policy
+	bench := core.NewBenchmark(nas.ClassS, env)
+	bench.Reset()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bench.Solve()
+	}
+}
+
+func BenchmarkAblation_SchedStaticBlock(b *testing.B)  { benchPolicy(b, sched.StaticBlock) }
+func BenchmarkAblation_SchedStaticCyclic(b *testing.B) { benchPolicy(b, sched.StaticCyclic) }
+func BenchmarkAblation_SchedDynamic(b *testing.B)      { benchPolicy(b, sched.Dynamic) }
+func BenchmarkAblation_SchedGuided(b *testing.B)       { benchPolicy(b, sched.Guided) }
+
+// --- future-work ablation: extended borders vs direct periodic relaxation ---------
+// (paper §7: "a direct implementation of relaxation with periodic boundary
+// conditions that makes artificial boundary elements obsolete")
+
+func BenchmarkFutureWork_ExtendedBorders_ClassW(b *testing.B) {
+	env := wl.Default()
+	bench := core.NewBenchmark(nas.ClassW, env)
+	bench.Reset()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bench.Solve()
+	}
+}
+
+func BenchmarkFutureWork_DirectPeriodic_ClassW(b *testing.B) {
+	env := wl.Default()
+	bench := periodic.NewBenchmark(nas.ClassW, env)
+	bench.Reset()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bench.Solve()
+	}
+}
+
+// --- sequential-threshold ablation --------------------------------------------------
+// SAC executes WITH-loops over small index spaces sequentially (the paper
+// discusses this policy for the coarse V-cycle grids). The sweep shows the
+// cost of turning the policy off (fork/join on every tiny coarse-grid
+// loop) or overdoing it (serializing the finest grids too).
+
+func benchSeqThreshold(b *testing.B, threshold int) {
+	env := wl.Parallel(4)
+	defer env.Close()
+	env.SeqThreshold = threshold
+	bench := core.NewBenchmark(nas.ClassS, env)
+	bench.Reset()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bench.Solve()
+	}
+}
+
+func BenchmarkAblation_SeqThreshold0(b *testing.B)    { benchSeqThreshold(b, 0) }
+func BenchmarkAblation_SeqThreshold4096(b *testing.B) { benchSeqThreshold(b, 4096) }
+func BenchmarkAblation_SeqThresholdHuge(b *testing.B) { benchSeqThreshold(b, 1<<30) }

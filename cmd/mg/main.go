@@ -1,0 +1,222 @@
+// Command mg runs the NAS MG benchmark with any of the three
+// implementations the paper compares:
+//
+//	mg -impl sac   -class S             # the paper's high-level SAC program
+//	mg -impl f77   -class A             # the NPB 2.3 Fortran-77 reference port
+//	mg -impl c     -class W -threads 4  # the C/OpenMP port, 4 workers
+//	mg -impl sac   -class S -opt 0      # unoptimized WITH-loop evaluation
+//	mg -impl f77   -class S -threads 4 -mode autopar
+//	mg -impl periodic -class S          # future-work: no artificial borders
+//	mg -impl mpi   -class S -threads 4  # future-work: slab-decomposed MPI style
+//
+// It prints the timed-section duration, the final residual norms, and the
+// official NPB verification verdict.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/array"
+	"repro/internal/core"
+	"repro/internal/cport"
+	"repro/internal/f77"
+	"repro/internal/mgmpi"
+	"repro/internal/nas"
+	"repro/internal/periodic"
+	"repro/internal/sched"
+	wl "repro/internal/withloop"
+)
+
+func main() {
+	var (
+		implName  = flag.String("impl", "sac", "implementation: sac, f77, c, periodic or mpi")
+		className = flag.String("class", "S", "NPB size class: S, W, A, B or C")
+		threads   = flag.Int("threads", 1, "worker count (1 = sequential)")
+		mode      = flag.String("mode", "fullpar", "f77 parallelization mode: serial, autopar or fullpar")
+		opt       = flag.Int("opt", 3, "SAC optimization level 0-3")
+		quiet     = flag.Bool("quiet", false, "print only the verification verdict")
+		dump      = flag.String("dump", "", "write the solution grid to this file (binary, see internal/array)")
+		npb       = flag.Bool("npb", false, "print the canonical NPB result block")
+	)
+	flag.Parse()
+
+	class, err := nas.ClassByName(*className)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	var (
+		rnm2, rnmu float64
+		elapsed    time.Duration
+		solution   *array.Array
+	)
+	switch *implName {
+	case "sac":
+		var env *wl.Env
+		if *threads > 1 {
+			env = wl.Parallel(*threads)
+		} else {
+			env = wl.Default()
+		}
+		if *opt < 0 || *opt > 3 {
+			fmt.Fprintln(os.Stderr, "mg: -opt must be 0..3")
+			os.Exit(2)
+		}
+		env.Opt = wl.OptLevel(*opt)
+		b := core.NewBenchmark(class, env)
+		b.Reset()
+		start := time.Now()
+		rnm2, rnmu = b.Solve()
+		elapsed = time.Since(start)
+		solution = b.U()
+		env.Close()
+	case "f77":
+		var pool *sched.Pool
+		fmode := f77.Serial
+		if *threads > 1 {
+			pool = sched.NewPool(*threads)
+			switch *mode {
+			case "serial":
+				fmode = f77.Serial
+			case "autopar":
+				fmode = f77.AutoPar
+			case "fullpar":
+				fmode = f77.FullPar
+			default:
+				fmt.Fprintln(os.Stderr, "mg: unknown -mode", *mode)
+				os.Exit(2)
+			}
+		}
+		s := f77.NewParallel(class, pool, fmode)
+		s.Reset()
+		start := time.Now()
+		s.EvalResid()
+		for it := 0; it < class.Iter; it++ {
+			s.MG3P()
+			s.EvalResid()
+		}
+		rnm2, rnmu = s.Norms()
+		elapsed = time.Since(start)
+		solution = s.U()
+		if pool != nil {
+			pool.Close()
+		}
+	case "c":
+		var pool *sched.Pool
+		if *threads > 1 {
+			pool = sched.NewPool(*threads)
+		}
+		s := cport.NewParallel(class, pool)
+		s.Reset()
+		start := time.Now()
+		s.EvalResid()
+		for it := 0; it < class.Iter; it++ {
+			s.MG3P()
+			s.EvalResid()
+		}
+		rnm2, rnmu = s.Norms()
+		elapsed = time.Since(start)
+		solution = s.U()
+		if pool != nil {
+			pool.Close()
+		}
+	case "periodic":
+		var env *wl.Env
+		if *threads > 1 {
+			env = wl.Parallel(*threads)
+		} else {
+			env = wl.Default()
+		}
+		b := periodic.NewBenchmark(class, env)
+		b.Reset()
+		start := time.Now()
+		rnm2, rnmu = b.Solve()
+		elapsed = time.Since(start)
+		solution = b.U()
+		env.Close()
+	case "mpi":
+		s := mgmpi.New(class, *threads)
+		start := time.Now()
+		rnm2, rnmu = s.Run()
+		elapsed = time.Since(start)
+		st := s.Stats()
+		if !*quiet {
+			fmt.Printf("communication: %d messages, %.2f MB\n",
+				st.Messages, float64(st.Bytes)/1e6)
+		}
+	default:
+		fmt.Fprintln(os.Stderr, "mg: unknown -impl", *implName,
+			"(want sac, f77, c, periodic or mpi)")
+		os.Exit(2)
+	}
+
+	if *dump != "" {
+		if solution == nil {
+			fmt.Fprintln(os.Stderr, "mg: -dump is not supported for -impl", *implName,
+				"(the solution is distributed)")
+			os.Exit(2)
+		}
+		f, err := os.Create(*dump)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mg:", err)
+			os.Exit(1)
+		}
+		if _, err := solution.WriteTo(f); err != nil {
+			fmt.Fprintln(os.Stderr, "mg: dump:", err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "mg: dump:", err)
+			os.Exit(1)
+		}
+		if !*quiet {
+			fmt.Printf("solution grid written to %s\n", *dump)
+		}
+	}
+
+	verified, known := class.Verify(rnm2)
+	if *npb {
+		// The report block the official NPB binaries print.
+		status := "UNVERIFIED"
+		if known && verified {
+			status = "SUCCESSFUL"
+		} else if known {
+			status = "FAILED"
+		}
+		fmt.Printf("\n MG Benchmark Completed.\n")
+		fmt.Printf(" Class           =            %c\n", class.Name)
+		fmt.Printf(" Size            = %12d\n", class.N)
+		fmt.Printf(" Iterations      = %12d\n", class.Iter)
+		fmt.Printf(" Time in seconds = %12.2f\n", elapsed.Seconds())
+		fmt.Printf(" Mop/s total     = %12.2f\n", class.FlopCount()/elapsed.Seconds()/1e6)
+		fmt.Printf(" Operation type  =   floating point\n")
+		fmt.Printf(" Verification    =   %s\n", status)
+		fmt.Printf(" L2 Norm         = %21.13e\n\n", rnm2)
+	}
+	if !*quiet {
+		fmt.Printf("NAS MG, class %s, implementation %s, %d thread(s)\n",
+			class, *implName, *threads)
+		fmt.Printf("timed section: %v\n", elapsed)
+		fmt.Printf("rnm2 = %.13e   rnmu = %.13e\n", rnm2, rnmu)
+		if ref, official, ok := class.VerifyValue(); ok {
+			src := "official NPB"
+			if !official {
+				src = "repository reference"
+			}
+			fmt.Printf("reference (%s) = %.13e\n", src, ref)
+		}
+	}
+	switch {
+	case !known:
+		fmt.Println("VERIFICATION: no reference value for this class")
+	case verified:
+		fmt.Println("VERIFICATION SUCCESSFUL")
+	default:
+		fmt.Println("VERIFICATION FAILED")
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,84 @@
+// Command mgbench regenerates every figure of the paper's evaluation
+// section plus the ablations stated in the text:
+//
+//	mgbench -fig 11                  # single-processor performance table
+//	mgbench -fig 12                  # own-relative speedups (simulated SMP)
+//	mgbench -fig 13                  # speedups relative to serial F77
+//	mgbench -fig codesize            # the >10x code-size claim
+//	mgbench -fig all -classes S,W,A  # everything the paper reports
+//
+// Figures 12/13 use the SMP cost-model simulator (internal/smp) driven by
+// real measured kernel profiles — see DESIGN.md §4 for why the paper's
+// 12-processor SUN Enterprise 4000 is simulated rather than re-run.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/harness"
+	"repro/internal/nas"
+	"repro/internal/smp"
+)
+
+func main() {
+	var (
+		fig     = flag.String("fig", "all", "figure to regenerate: 11, 12, 13, mpi, codesize or all")
+		classes = flag.String("classes", "S,W", "comma-separated size classes (paper: W,A)")
+		repeats = flag.Int("repeats", 3, "repetitions per Fig. 11 measurement (best reported)")
+		procs   = flag.Int("procs", 10, "simulated processor count for Figs. 12/13")
+		repo    = flag.String("repo", ".", "repository root (for -fig codesize)")
+	)
+	flag.Parse()
+
+	var classList []nas.Class
+	for _, name := range strings.Split(*classes, ",") {
+		c, err := nas.ClassByName(strings.TrimSpace(name))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		classList = append(classList, c)
+	}
+	machine := smp.Enterprise4000()
+	machine.MaxProcs = *procs
+
+	out := os.Stdout
+	switch *fig {
+	case "11":
+		harness.RunFig11(out, classList, *repeats)
+	case "12":
+		harness.RunFig12(out, classList, machine)
+	case "13":
+		series := harness.RunFig12(out, classList, machine)
+		harness.RunFig13(out, series, machine)
+	case "mpi":
+		for _, class := range classList {
+			ranks := []int{1, 2, 4, 8}
+			if class.N/2 < 8 {
+				ranks = []int{1, 2, 4}
+			}
+			harness.RunMPIStats(out, class, ranks)
+		}
+	case "codesize":
+		if _, err := harness.RunCodeSize(out, *repo); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	case "all":
+		harness.RunFig11(out, classList, *repeats)
+		series := harness.RunFig12(out, classList, machine)
+		harness.RunFig13(out, series, machine)
+		for _, class := range classList {
+			harness.RunMPIStats(out, class, []int{1, 2, 4, 8})
+		}
+		if _, err := harness.RunCodeSize(out, *repo); err != nil {
+			fmt.Fprintln(os.Stderr, "codesize skipped:", err)
+		}
+	default:
+		fmt.Fprintln(os.Stderr, "mgbench: unknown -fig", *fig)
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,13 @@
+// Package repro reproduces Clemens Grelck, "Implementing the NAS Benchmark
+// MG in SAC" (IPPS 2002) as a Go library: a SAC-style functional array
+// programming system (WITH-loops, an APL-style array library, implicit
+// multithreading, reference-counted memory management) together with the
+// NAS benchmark MG implemented three ways — the paper's generic high-level
+// program, the Fortran-77 reference port, and the C/OpenMP port — plus the
+// harness that regenerates every figure of the paper's evaluation.
+//
+// Import the public API from repro/sacmg. The root package exists to carry
+// the module documentation and the per-figure benchmarks (bench_test.go);
+// see README.md for the map of the repository and EXPERIMENTS.md for the
+// paper-vs-measured record.
+package repro

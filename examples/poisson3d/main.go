@@ -1,0 +1,100 @@
+// Poisson3D: solve a 3-D Poisson problem with the paper's generic
+// multigrid solver and watch the residual contract.
+//
+// The NAS benchmark poses ∇²u = v with periodic boundaries and a
+// right-hand side of twenty ±1 point charges. This example poses a
+// smoother physical problem — a smooth zero-mean charge distribution on a
+// 64³ periodic grid — and runs MGrid V-cycles one by one, printing the
+// residual norm after each. Multigrid's signature property is visible
+// immediately: the residual shrinks by a near-constant factor every cycle,
+// independent of the grid size.
+//
+//	go run ./examples/poisson3d [-n 64] [-cycles 8]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+
+	"repro/sacmg"
+)
+
+func main() {
+	n := flag.Int("n", 64, "interior grid extent per axis (power of two)")
+	cycles := flag.Int("cycles", 8, "number of V-cycles")
+	flag.Parse()
+	if *n&(*n-1) != 0 || *n < 4 {
+		fmt.Println("n must be a power of two >= 4")
+		return
+	}
+
+	env := sacmg.NewEnv()
+	solver := sacmg.NewSolver(env)
+
+	// Build the right-hand side on the extended grid: a zero-mean smooth
+	// charge distribution (three crossed sine modes).
+	m := *n + 2
+	shp := sacmg.ShapeOf(m, m, m)
+	v := sacmg.NewArray(shp)
+	h := 2 * math.Pi / float64(*n)
+	for i := 1; i <= *n; i++ {
+		for j := 1; j <= *n; j++ {
+			for k := 1; k <= *n; k++ {
+				x, y, z := float64(i-1)*h, float64(j-1)*h, float64(k-1)*h
+				v.Set3(i, j, k, math.Sin(x)*math.Cos(2*y)*math.Sin(3*z))
+			}
+		}
+	}
+
+	residNorm := func(u *sacmg.Array) float64 {
+		au := solver.Resid(u)
+		r := sacmg.Sub(env, v, au)
+		env.Release(au)
+		sum := 0.0
+		for i := 1; i <= *n; i++ {
+			for j := 1; j <= *n; j++ {
+				for k := 1; k <= *n; k++ {
+					x := r.At3(i, j, k)
+					sum += x * x
+				}
+			}
+		}
+		env.Release(r)
+		return math.Sqrt(sum / float64((*n)*(*n)*(*n)))
+	}
+
+	fmt.Printf("Poisson problem on a %d³ periodic grid\n", *n)
+	u := sacmg.NewArray(shp)
+	prev := residNorm(u)
+	fmt.Printf("cycle  0: ||r|| = %.6e\n", prev)
+	for c := 1; c <= *cycles; c++ {
+		// One MGrid iteration = one residual evaluation + one V-cycle
+		// correction (paper Fig. 4).
+		next := solver.MGrid(v, 1)
+		if c == 1 {
+			env.Release(u)
+			u = next
+		} else {
+			// Continue from the current u: r = v - A·u; u += VCycle(r).
+			env.Release(next)
+			au := solver.Resid(u)
+			r := sacmg.Sub(env, v, au)
+			env.Release(au)
+			z := solver.VCycle(r)
+			env.Release(r)
+			u2 := sacmg.Add(env, u, z)
+			env.Release(z)
+			env.Release(u)
+			u = u2
+		}
+		cur := residNorm(u)
+		fmt.Printf("cycle %2d: ||r|| = %.6e   contraction %.3f\n", c, cur, cur/prev)
+		prev = cur
+	}
+
+	fmt.Printf("\nsolution range: max|u| = %.6f (finite: %v)\n",
+		sacmg.MaxAbs(env, u), !math.IsNaN(sacmg.Sum(env, u)))
+	fmt.Println("A near-constant contraction factor per cycle is the multigrid property")
+	fmt.Println("the V-cycle exists to deliver (paper §3).")
+}

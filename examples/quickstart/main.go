@@ -1,0 +1,85 @@
+// Quickstart: the SAC array library in five minutes.
+//
+// This example walks through the building blocks the paper's MG program is
+// made of: first-class n-dimensional arrays, WITH-loops, the array-library
+// functions of Fig. 10, and finally the verified NAS MG benchmark itself.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+
+	"repro/sacmg"
+)
+
+func main() {
+	// An environment is the runtime of a "compiled SAC program":
+	// scheduler, memory manager and optimization level.
+	env := sacmg.NewEnv()
+
+	// --- WITH-loops ------------------------------------------------------
+	// with ( . <= iv <= . ) genarray([4,4], iv[0]*10 + iv[1])
+	shp := sacmg.ShapeOf(4, 4)
+	a := env.Genarray(shp, sacmg.Full(shp), func(iv sacmg.Index) float64 {
+		return float64(iv[0]*10 + iv[1])
+	})
+	fmt.Println("genarray over the full range:")
+	printMatrix(a)
+
+	// A generator with a step filter: every second column.
+	striped := env.Genarray(shp, sacmg.Full(shp).WithStep([]int{1, 2}),
+		func(iv sacmg.Index) float64 { return 1 })
+	fmt.Println("genarray with step [1,2] (zeros outside the generator):")
+	printMatrix(striped)
+
+	// fold: a reduction over an index set.
+	total := env.Fold(shp, sacmg.Inner(shp),
+		func(acc, v float64) float64 { return acc + v }, 0,
+		func(iv sacmg.Index) float64 { return a.At(iv) })
+	fmt.Printf("fold(+) over the inner elements: %g\n\n", total)
+
+	// --- the array library (paper Fig. 10) --------------------------------
+	big := sacmg.GenarrayVal(env, sacmg.ShapeOf(8, 8), 1)
+	small := sacmg.Condense(env, 2, big) // every 2nd element per axis
+	fmt.Printf("condense(2, 8x8 of ones) has shape %v, sum %g\n",
+		small.Shape(), sacmg.Sum(env, small))
+
+	spread := sacmg.Scatter(env, 2, small) // back to 8x8, zeros between
+	fmt.Printf("scatter(2, ...) has shape %v, sum %g (values only at even positions)\n",
+		spread.Shape(), sacmg.Sum(env, spread))
+
+	frame := sacmg.Embed(env, sacmg.ShapeOf(6, 6), []int{1, 1}, small)
+	fmt.Printf("embed into 6x6 at [1,1]: corner value %g, centre value %g\n",
+		frame.At(sacmg.Index{0, 0}), frame.At(sacmg.Index{1, 1}))
+
+	back := sacmg.Take(env, small.Shape(), sacmg.Embed(env, sacmg.ShapeOf(5, 5), []int{0, 0}, small))
+	fmt.Printf("take(shape(a), embed(..., a)) == a: %v\n\n", back.Equal(small))
+
+	// --- element-wise arithmetic and reductions ---------------------------
+	x := sacmg.FromSlice(sacmg.ShapeOf(4), []float64{1, 2, 3, 4})
+	y := sacmg.FromSlice(sacmg.ShapeOf(4), []float64{10, 20, 30, 40})
+	fmt.Printf("x + y        = %v\n", sacmg.Add(env, x, y))
+	fmt.Printf("y - x        = %v\n", sacmg.Sub(env, y, x))
+	fmt.Printf("sum(x)       = %g\n", sacmg.Sum(env, x))
+	fmt.Printf("maxabs(y)    = %g\n", sacmg.MaxAbs(env, y))
+	fmt.Printf("rotate(x, 1) = %v\n\n", sacmg.Rotate(env, 0, 1, x))
+
+	// --- the real thing: NAS MG, class S ----------------------------------
+	bench := sacmg.NewBenchmark(sacmg.ClassS, env)
+	rnm2, _ := bench.Run()
+	ok, _ := sacmg.ClassS.Verify(rnm2)
+	fmt.Printf("NAS MG class %s: rnm2 = %.10e, verified = %v\n",
+		sacmg.ClassS, rnm2, ok)
+}
+
+func printMatrix(a *sacmg.Array) {
+	shp := a.Shape()
+	for i := 0; i < shp[0]; i++ {
+		for j := 0; j < shp[1]; j++ {
+			fmt.Printf("%5.1f", a.At(sacmg.Index{i, j}))
+		}
+		fmt.Println()
+	}
+	fmt.Println()
+}

@@ -1,0 +1,87 @@
+// SMPModel: predict parallel performance with the SMP cost model.
+//
+// The paper's Figures 12/13 were measured on a 12-processor SUN Ultra
+// Enterprise 4000. This example shows the substitution used to reproduce
+// them on a single-core machine (DESIGN.md §4): run the real SAC-style
+// benchmark once with the kernel probe attached, feed the measured work
+// profile to the calibrated machine model, and print the predicted speedup
+// curve — plus what-if variants that expose the model's structure:
+// disabling the memory manager's cost, the adaptive sequential threshold,
+// or the fork/join overhead.
+//
+//	go run ./examples/smpmodel [-class W]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/nas"
+	"repro/internal/smp"
+	wl "repro/internal/withloop"
+)
+
+func main() {
+	className := flag.String("class", "W", "NPB size class to profile")
+	flag.Parse()
+	class, err := nas.ClassByName(*className)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+
+	// 1. Measure: one real serial benchmark run with the probe attached.
+	col := smp.NewCollector("SAC", class)
+	env := wl.Default()
+	b := core.NewBenchmark(class, env)
+	b.Solver.Probe = col.Probe
+	rnm2, _ := b.Run()
+	profile := col.Profile()
+	fmt.Printf("measured profile (verified run, rnm2 = %.6e):\n%s\n", rnm2, profile)
+
+	// 2. Predict: the calibrated Enterprise 4000 model.
+	machine := smp.Enterprise4000()
+	fmt.Printf("predicted execution on the simulated SMP, P = 1..%d\n\n", machine.MaxProcs)
+	header := fmt.Sprintf("%-34s", "variant")
+	for p := 1; p <= machine.MaxProcs; p++ {
+		header += fmt.Sprintf("%6d", p)
+	}
+	fmt.Println(header)
+
+	show := func(label string, tr smp.Traits) {
+		fmt.Printf("%-34s", label)
+		for _, s := range machine.Speedups(profile, tr) {
+			fmt.Printf("%6.2f", s)
+		}
+		fmt.Println()
+	}
+
+	show("SAC (calibrated)", smp.SAC)
+
+	noAlloc := smp.SAC
+	noAlloc.Name = "SAC, free memory manager"
+	noAlloc.AllocCost = 0
+	noAlloc.AllocFrac = 0
+	show("  - without memory-manager cost", noAlloc)
+
+	noAdaptive := smp.SAC
+	noAdaptive.Name = "SAC, no sequential threshold"
+	noAdaptive.Adaptive = false
+	show("  - without sequential threshold", noAdaptive)
+
+	freeFork := smp.SAC
+	freeFork.Name = "SAC, free fork/join"
+	freeFork.ForkJoin = 0
+	show("  - without fork/join overhead", freeFork)
+
+	fmt.Println()
+	fmt.Println("The gap between the first two rows is the paper's diagnosis: dynamic")
+	fmt.Println("memory management costs are invariant in grid size, so they cap the")
+	fmt.Println("speedup on the small grids at the bottom of the V-cycle (§5).")
+	fmt.Println()
+
+	// 3. Robustness: how much does each calibrated constant matter?
+	machine.WriteSensitivity(os.Stdout, profile, smp.SAC)
+}

@@ -1,0 +1,83 @@
+// Binary serialization of arrays. The format is a fixed little-endian
+// layout (magic, rank, extents, raw float64 data), so grids written by
+// cmd/mg -dump can be compared across runs or loaded into other tools.
+package array
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"repro/internal/shape"
+)
+
+// ioMagic identifies the serialization format ("SACA" + version 1).
+const ioMagic uint32 = 0x53414301
+
+// maxIORank bounds the rank accepted when reading, guarding against
+// corrupted headers.
+const maxIORank = 16
+
+// WriteTo serializes the array to w: magic, rank, extents and the
+// row-major element data, all little-endian. It returns the number of
+// bytes written.
+func (a *Array) WriteTo(w io.Writer) (int64, error) {
+	var n int64
+	write := func(v any) error {
+		if err := binary.Write(w, binary.LittleEndian, v); err != nil {
+			return err
+		}
+		n += int64(binary.Size(v))
+		return nil
+	}
+	if err := write(ioMagic); err != nil {
+		return n, fmt.Errorf("array: write header: %w", err)
+	}
+	if err := write(uint32(a.Dim())); err != nil {
+		return n, fmt.Errorf("array: write rank: %w", err)
+	}
+	for _, e := range a.Shape() {
+		if err := write(uint64(e)); err != nil {
+			return n, fmt.Errorf("array: write extent: %w", err)
+		}
+	}
+	if err := write(a.Data()); err != nil {
+		return n, fmt.Errorf("array: write data: %w", err)
+	}
+	return n, nil
+}
+
+// ReadArray deserializes an array written by WriteTo.
+func ReadArray(r io.Reader) (*Array, error) {
+	var magic uint32
+	if err := binary.Read(r, binary.LittleEndian, &magic); err != nil {
+		return nil, fmt.Errorf("array: read header: %w", err)
+	}
+	if magic != ioMagic {
+		return nil, fmt.Errorf("array: bad magic %#x (not a serialized array)", magic)
+	}
+	var rank uint32
+	if err := binary.Read(r, binary.LittleEndian, &rank); err != nil {
+		return nil, fmt.Errorf("array: read rank: %w", err)
+	}
+	if rank > maxIORank {
+		return nil, fmt.Errorf("array: implausible rank %d", rank)
+	}
+	shp := make(shape.Shape, rank)
+	for i := range shp {
+		var e uint64
+		if err := binary.Read(r, binary.LittleEndian, &e); err != nil {
+			return nil, fmt.Errorf("array: read extent: %w", err)
+		}
+		const maxExtent = 1 << 32
+		if e > maxExtent {
+			return nil, fmt.Errorf("array: implausible extent %d", e)
+		}
+		shp[i] = int(e)
+	}
+	a := New(shp)
+	if err := binary.Read(r, binary.LittleEndian, a.Data()); err != nil {
+		return nil, fmt.Errorf("array: read data: %w", err)
+	}
+	return a, nil
+}

@@ -1,0 +1,121 @@
+package array
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/shape"
+)
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	a := New(shape.Of(3, 4, 5))
+	for i := range a.Data() {
+		a.Data()[i] = math.Sin(float64(i))
+	}
+	var buf bytes.Buffer
+	n, err := a.WriteTo(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantBytes := int64(4 + 4 + 3*8 + 60*8)
+	if n != wantBytes {
+		t.Fatalf("wrote %d bytes, want %d", n, wantBytes)
+	}
+	b, err := ReadArray(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !b.Equal(a) {
+		t.Fatal("round trip changed the array")
+	}
+}
+
+func TestRoundTripScalarAndEmpty(t *testing.T) {
+	for _, a := range []*Array{Scalar(3.14), New(shape.Of(0)), New(shape.Of(2, 0, 3))} {
+		var buf bytes.Buffer
+		if _, err := a.WriteTo(&buf); err != nil {
+			t.Fatal(err)
+		}
+		b, err := ReadArray(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !b.Shape().Equal(a.Shape()) {
+			t.Fatalf("shape %v round-tripped to %v", a.Shape(), b.Shape())
+		}
+	}
+}
+
+func TestReadRejectsGarbage(t *testing.T) {
+	cases := map[string][]byte{
+		"empty":     {},
+		"bad magic": {1, 2, 3, 4, 5, 6, 7, 8},
+		"truncated": func() []byte {
+			var buf bytes.Buffer
+			a := New(shape.Of(4, 4))
+			a.WriteTo(&buf)
+			return buf.Bytes()[:20]
+		}(),
+	}
+	for name, data := range cases {
+		if _, err := ReadArray(bytes.NewReader(data)); err == nil {
+			t.Errorf("%s: no error", name)
+		}
+	}
+}
+
+func TestReadRejectsImplausibleHeader(t *testing.T) {
+	// A header claiming rank 1000.
+	var buf bytes.Buffer
+	a := Scalar(1)
+	a.WriteTo(&buf)
+	data := buf.Bytes()
+	data[4] = 0xFF
+	data[5] = 0xFF
+	if _, err := ReadArray(bytes.NewReader(data)); err == nil || !strings.Contains(err.Error(), "rank") {
+		t.Fatalf("implausible rank accepted: %v", err)
+	}
+}
+
+// Property: serialization preserves every bit pattern, including negative
+// zero, infinities and NaN payload-free NaNs.
+func TestRoundTripBitPatternsQuick(t *testing.T) {
+	f := func(vals [6]float64) bool {
+		a := FromSlice(shape.Of(2, 3), vals[:])
+		var buf bytes.Buffer
+		if _, err := a.WriteTo(&buf); err != nil {
+			return false
+		}
+		b, err := ReadArray(&buf)
+		if err != nil {
+			return false
+		}
+		for i := range vals {
+			x, y := a.Data()[i], b.Data()[i]
+			if math.Float64bits(x) != math.Float64bits(y) {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 50}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+	// Explicit specials.
+	specials := FromSlice(shape.Of(4), []float64{math.Inf(1), math.Inf(-1), math.Copysign(0, -1), math.NaN()})
+	var buf bytes.Buffer
+	specials.WriteTo(&buf)
+	back, err := ReadArray(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range specials.Data() {
+		if math.Float64bits(specials.Data()[i]) != math.Float64bits(back.Data()[i]) {
+			t.Fatalf("special value %d changed bits", i)
+		}
+	}
+}

@@ -1,0 +1,141 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/aplib"
+	"repro/internal/array"
+	"repro/internal/nas"
+	"repro/internal/shape"
+	wl "repro/internal/withloop"
+)
+
+// contractionFactor measures the mean per-cycle residual reduction of a
+// configured solver on the class-S problem.
+func contractionFactor(t *testing.T, configure func(*Solver)) float64 {
+	t.Helper()
+	env := wl.Default()
+	b := NewBenchmark(nas.ClassS, env)
+	configure(b.Solver)
+	b.Reset()
+	n := nas.ClassS.N
+	norm := func(u *array.Array) float64 {
+		r := b.Solver.residSubtract(b.V(), u)
+		rnm2, _ := nas.Norm2u3(r, n)
+		env.Release(r)
+		return rnm2
+	}
+	u := env.NewArray(b.V().Shape())
+	start := norm(u)
+	const cycles = 3
+	cur := u
+	for c := 0; c < cycles; c++ {
+		r := b.Solver.residSubtract(b.V(), cur)
+		z := b.Solver.VCycle(r)
+		env.Release(r)
+		next := aplib.Add(env, cur, z)
+		env.Release(z)
+		env.Release(cur)
+		cur = next
+	}
+	end := norm(cur)
+	return math.Pow(end/start, 1.0/cycles)
+}
+
+// Gamma=1 must reproduce the plain benchmark exactly (it is the default
+// configuration under another name).
+func TestGammaOneIsBenchmark(t *testing.T) {
+	base, _ := NewBenchmark(nas.ClassS, wl.Default()).Run()
+	env := wl.Default()
+	b := NewBenchmark(nas.ClassS, env)
+	b.Solver.Gamma = 1
+	b.Solver.PostSmooth = 1
+	got, _ := b.Run()
+	if got != base {
+		t.Fatalf("Gamma=1/PostSmooth=1 changed the result: %v vs %v", got, base)
+	}
+}
+
+// A W-cycle contracts at least as fast per cycle as a V-cycle (it does
+// strictly more coarse-grid work).
+func TestWCycleContractsFaster(t *testing.T) {
+	v := contractionFactor(t, func(*Solver) {})
+	w := contractionFactor(t, func(s *Solver) { s.Gamma = 2 })
+	if w > v*1.02 {
+		t.Fatalf("W-cycle contraction %.4f worse than V-cycle %.4f", w, v)
+	}
+	t.Logf("contraction per cycle: V %.4f, W %.4f", v, w)
+}
+
+// Extra post-smoothing strictly improves the per-cycle contraction.
+func TestPostSmoothingImprovesContraction(t *testing.T) {
+	one := contractionFactor(t, func(*Solver) {})
+	three := contractionFactor(t, func(s *Solver) { s.PostSmooth = 3 })
+	if three >= one {
+		t.Fatalf("3 post-smoothing steps (%.4f) not better than 1 (%.4f)", three, one)
+	}
+	t.Logf("contraction per cycle: 1 smooth %.4f, 3 smooths %.4f", one, three)
+}
+
+// The W-cycle still verifies the NPB norm? No — it computes a *different*
+// (better) approximation, so the official constant no longer applies; but
+// it must still converge to a solution of the same system: the final
+// residual must be no larger than the V-cycle benchmark's.
+func TestWCycleResidualNotWorse(t *testing.T) {
+	vb := NewBenchmark(nas.ClassS, wl.Default())
+	vNorm, _ := vb.Run()
+	env := wl.Default()
+	wb := NewBenchmark(nas.ClassS, env)
+	wb.Solver.Gamma = 2
+	wNorm, _ := wb.Run()
+	if wNorm > vNorm {
+		t.Fatalf("W-cycle final residual %.6e worse than V-cycle %.6e", wNorm, vNorm)
+	}
+}
+
+// Cycle extensions compose with the rank-generic path (2-D grids).
+func TestWCycleRank2(t *testing.T) {
+	env := wl.Default()
+	s := New(env)
+	s.Operator = [4]float64{-10.0 / 3.0, 2.0 / 3.0, 1.0 / 6.0, 0}
+	s.Project = [4]float64{1.0, 0.5, 0.25, 0}
+	s.Interp = [4]float64{1.0, 0.5, 0.25, 0}
+	s.Smoother = [4]float64{-0.3, 0.0, 0.0, 0}
+	s.Gamma = 2
+	s.PostSmooth = 2
+	n := 16
+	v := array.New(shape.Of(n+2, n+2))
+	for i := 1; i <= n; i++ {
+		for j := 1; j <= n; j++ {
+			v.Set(shape.Index{i, j},
+				math.Sin(2*math.Pi*float64(i-1)/float64(n))*math.Cos(2*math.Pi*float64(j-1)/float64(n)))
+		}
+	}
+	u := s.MGrid(v, 4)
+	for _, x := range u.Data() {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			t.Fatal("2-D W-cycle produced non-finite values")
+		}
+	}
+}
+
+// All optimization levels agree for the extended configurations too (the
+// folded fast path is bypassed, but O0 vs O2 still must match).
+func TestCycleExtensionsLevelEquivalence(t *testing.T) {
+	run := func(opt wl.OptLevel) float64 {
+		env := wl.Default()
+		env.Opt = opt
+		b := NewBenchmark(nas.ClassS, env)
+		b.Solver.Gamma = 2
+		b.Solver.PostSmooth = 2
+		rnm2, _ := b.Run()
+		return rnm2
+	}
+	ref := run(wl.O0)
+	for _, opt := range []wl.OptLevel{wl.O1, wl.O2, wl.O3} {
+		if got := run(opt); got != ref {
+			t.Fatalf("opt %v: %v != O0's %v", opt, got, ref)
+		}
+	}
+}

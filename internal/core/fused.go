@@ -1,0 +1,358 @@
+// WITH-loop folding: the cross-operation fusions sac2c performs on the MG
+// code (Scholz, "Effects of WITH-Loop Folding on the NAS Benchmark MG in
+// SAC", IFL'98 — reference [28] of the paper). At optimization level O3 the
+// composite expressions of MGrid/VCycle collapse into single traversals:
+//
+//	v - Resid(u)                 → subRelax   (one pass, no A·u temporary)
+//	z + Smooth(r)                → addRelax   (one pass, no S·r temporary)
+//	condense(2, Relax(r, P))     → projectCondense (P evaluated only at the
+//	                               surviving even points — 1/8 of the work)
+//	Relax(take(scatter(rn)), Q)  → interpolate (exploits the zeros of the
+//	                               scattered grid: 1–8 reads per element)
+//
+// Each folded kernel reproduces the unfolded composition bit-for-bit
+// (modulo the sign of zero): neighbour sums accumulate in the same
+// lexicographic order as the generic stencil kernel, and additions of
+// exact zeros — which is all the folded forms eliminate — cannot change an
+// IEEE-754 sum. The package test TestOptLevelsBitIdentical holds the O3
+// pipeline to that contract.
+package core
+
+import (
+	"repro/internal/array"
+	"repro/internal/shape"
+	"repro/internal/stencil"
+	wl "repro/internal/withloop"
+)
+
+// foldable reports whether the folded rank-3 kernels apply.
+func (s *Solver) foldable(a *array.Array) bool {
+	return s.Env.Opt >= wl.O3 && a.Dim() == 3
+}
+
+// forPlanes partitions the interior planes [1, n0-1) of a rank-3 grid
+// across the environment's workers.
+func forPlanes(e *wl.Env, n0, perPlane int, body func(lo, hi int)) {
+	opts := e.ForOpt
+	if perPlane > 0 {
+		opts.SeqThreshold = max(opts.SeqThreshold, e.SeqThreshold) / perPlane
+	}
+	e.Sched.For(n0-2, opts, func(lo, hi, _ int) { body(lo+1, hi+1) })
+}
+
+// subRelax computes out = v − Relax(u, c): the folded form of
+// aplib.Sub(v, Resid(u)). u must have its periodic border prepared.
+// Boundary elements are v's (the relaxation contributes zero there).
+func subRelax(e *wl.Env, v, u *array.Array, c stencil.Coeffs) *array.Array {
+	shp := u.Shape()
+	n0, n1, n2 := shp[0], shp[1], shp[2]
+	out := e.NewArrayDirty(shp)
+	od, vd, ud := out.Data(), v.Data(), u.Data()
+	copyBorders(od, vd, n0, n1, n2)
+	c0, c1, c2, c3 := c[0], c[1], c[2], c[3]
+	forPlanes(e, n0, (n1-2)*(n2-2), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			for j := 1; j < n1-1; j++ {
+				mm := ((i-1)*n1 + (j - 1)) * n2
+				mz := ((i-1)*n1 + j) * n2
+				mp := ((i-1)*n1 + (j + 1)) * n2
+				zm := (i*n1 + (j - 1)) * n2
+				zz := (i*n1 + j) * n2
+				zp := (i*n1 + (j + 1)) * n2
+				pm := ((i+1)*n1 + (j - 1)) * n2
+				pz := ((i+1)*n1 + j) * n2
+				pp := ((i+1)*n1 + (j + 1)) * n2
+				uMM, uMZ, uMP := ud[mm:mm+n2], ud[mz:mz+n2], ud[mp:mp+n2]
+				uZM, uZZ, uZP := ud[zm:zm+n2], ud[zz:zz+n2], ud[zp:zp+n2]
+				uPM, uPZ, uPP := ud[pm:pm+n2], ud[pz:pz+n2], ud[pp:pp+n2]
+				oZZ, vZZ := od[zz:zz+n2], vd[zz:zz+n2]
+				oZZ[0] = vZZ[0]
+				oZZ[n2-1] = vZZ[n2-1]
+				if c1 == 0 {
+					// Constant folding of the zero face coefficient (the
+					// A stencil): c1·s1 is an exact zero, so c0·x + c1·s1
+					// equals c0·x and the six face additions disappear —
+					// the specialization sac2c derives from the constant
+					// coefficient vector.
+					for k := 1; k < n2-1; k++ {
+						s2 := uMM[k] + uMZ[k-1] + uMZ[k+1] + uMP[k] +
+							uZM[k-1] + uZM[k+1] + uZP[k-1] + uZP[k+1] +
+							uPM[k] + uPZ[k-1] + uPZ[k+1] + uPP[k]
+						s3 := uMM[k-1] + uMM[k+1] + uMP[k-1] + uMP[k+1] +
+							uPM[k-1] + uPM[k+1] + uPP[k-1] + uPP[k+1]
+						oZZ[k] = vZZ[k] - ((c0*uZZ[k] + c2*s2) + c3*s3)
+					}
+					continue
+				}
+				for k := 1; k < n2-1; k++ {
+					s1 := uMZ[k] + uZM[k] + uZZ[k-1] + uZZ[k+1] + uZP[k] + uPZ[k]
+					s2 := uMM[k] + uMZ[k-1] + uMZ[k+1] + uMP[k] +
+						uZM[k-1] + uZM[k+1] + uZP[k-1] + uZP[k+1] +
+						uPM[k] + uPZ[k-1] + uPZ[k+1] + uPP[k]
+					s3 := uMM[k-1] + uMM[k+1] + uMP[k-1] + uMP[k+1] +
+						uPM[k-1] + uPM[k+1] + uPP[k-1] + uPP[k+1]
+					oZZ[k] = vZZ[k] - (((c0*uZZ[k] + c1*s1) + c2*s2) + c3*s3)
+				}
+			}
+		}
+	})
+	return out
+}
+
+// addRelax computes out = z + Relax(r, c): the folded form of
+// aplib.Add(z, Smooth(r)). r must have its periodic border prepared.
+func addRelax(e *wl.Env, z, r *array.Array, c stencil.Coeffs) *array.Array {
+	shp := z.Shape()
+	n0, n1, n2 := shp[0], shp[1], shp[2]
+	out := e.NewArrayDirty(shp)
+	od, zd, rd := out.Data(), z.Data(), r.Data()
+	copyBorders(od, zd, n0, n1, n2)
+	c0, c1, c2, c3 := c[0], c[1], c[2], c[3]
+	forPlanes(e, n0, (n1-2)*(n2-2), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			for j := 1; j < n1-1; j++ {
+				mm := ((i-1)*n1 + (j - 1)) * n2
+				mz := ((i-1)*n1 + j) * n2
+				mp := ((i-1)*n1 + (j + 1)) * n2
+				zm := (i*n1 + (j - 1)) * n2
+				zz := (i*n1 + j) * n2
+				zp := (i*n1 + (j + 1)) * n2
+				pm := ((i+1)*n1 + (j - 1)) * n2
+				pz := ((i+1)*n1 + j) * n2
+				pp := ((i+1)*n1 + (j + 1)) * n2
+				rMM, rMZ, rMP := rd[mm:mm+n2], rd[mz:mz+n2], rd[mp:mp+n2]
+				rZM, rZZ, rZP := rd[zm:zm+n2], rd[zz:zz+n2], rd[zp:zp+n2]
+				rPM, rPZ, rPP := rd[pm:pm+n2], rd[pz:pz+n2], rd[pp:pp+n2]
+				oZZ, zZZ := od[zz:zz+n2], zd[zz:zz+n2]
+				oZZ[0] = zZZ[0]
+				oZZ[n2-1] = zZZ[n2-1]
+				if c3 == 0 {
+					// Constant folding of the zero corner coefficient
+					// (the S stencils): the eight corner additions
+					// disappear; c3·s3 was an exact zero.
+					for k := 1; k < n2-1; k++ {
+						s1 := rMZ[k] + rZM[k] + rZZ[k-1] + rZZ[k+1] + rZP[k] + rPZ[k]
+						s2 := rMM[k] + rMZ[k-1] + rMZ[k+1] + rMP[k] +
+							rZM[k-1] + rZM[k+1] + rZP[k-1] + rZP[k+1] +
+							rPM[k] + rPZ[k-1] + rPZ[k+1] + rPP[k]
+						oZZ[k] = zZZ[k] + ((c0*rZZ[k] + c1*s1) + c2*s2)
+					}
+					continue
+				}
+				for k := 1; k < n2-1; k++ {
+					s1 := rMZ[k] + rZM[k] + rZZ[k-1] + rZZ[k+1] + rZP[k] + rPZ[k]
+					s2 := rMM[k] + rMZ[k-1] + rMZ[k+1] + rMP[k] +
+						rZM[k-1] + rZM[k+1] + rZP[k-1] + rZP[k+1] +
+						rPM[k] + rPZ[k-1] + rPZ[k+1] + rPP[k]
+					s3 := rMM[k-1] + rMM[k+1] + rMP[k-1] + rMP[k+1] +
+						rPM[k-1] + rPM[k+1] + rPP[k-1] + rPP[k+1]
+					oZZ[k] = zZZ[k] + (((c0*rZZ[k] + c1*s1) + c2*s2) + c3*s3)
+				}
+			}
+		}
+	})
+	return out
+}
+
+// addRelaxPlus computes out = u + (z + Relax(r, c)): the folded MGrid
+// iteration tail u + VCycle-result. The inner parenthesisation matches the
+// unfolded Add(u, addRelax(z, r)) bit for bit. r must have its periodic
+// border prepared; boundary elements are u + z.
+func addRelaxPlus(e *wl.Env, u, z, r *array.Array, c stencil.Coeffs) *array.Array {
+	shp := z.Shape()
+	n0, n1, n2 := shp[0], shp[1], shp[2]
+	out := e.NewArrayDirty(shp)
+	od, udat, zd, rd := out.Data(), u.Data(), z.Data(), r.Data()
+	addBorders(od, udat, zd, n0, n1, n2)
+	c0, c1, c2, c3 := c[0], c[1], c[2], c[3]
+	forPlanes(e, n0, (n1-2)*(n2-2), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			for j := 1; j < n1-1; j++ {
+				mm := ((i-1)*n1 + (j - 1)) * n2
+				mz := ((i-1)*n1 + j) * n2
+				mp := ((i-1)*n1 + (j + 1)) * n2
+				zm := (i*n1 + (j - 1)) * n2
+				zz := (i*n1 + j) * n2
+				zp := (i*n1 + (j + 1)) * n2
+				pm := ((i+1)*n1 + (j - 1)) * n2
+				pz := ((i+1)*n1 + j) * n2
+				pp := ((i+1)*n1 + (j + 1)) * n2
+				rMM, rMZ, rMP := rd[mm:mm+n2], rd[mz:mz+n2], rd[mp:mp+n2]
+				rZM, rZZ, rZP := rd[zm:zm+n2], rd[zz:zz+n2], rd[zp:zp+n2]
+				rPM, rPZ, rPP := rd[pm:pm+n2], rd[pz:pz+n2], rd[pp:pp+n2]
+				oZZ, uZZ, zZZ := od[zz:zz+n2], udat[zz:zz+n2], zd[zz:zz+n2]
+				oZZ[0] = uZZ[0] + zZZ[0]
+				oZZ[n2-1] = uZZ[n2-1] + zZZ[n2-1]
+				if c3 == 0 {
+					for k := 1; k < n2-1; k++ {
+						s1 := rMZ[k] + rZM[k] + rZZ[k-1] + rZZ[k+1] + rZP[k] + rPZ[k]
+						s2 := rMM[k] + rMZ[k-1] + rMZ[k+1] + rMP[k] +
+							rZM[k-1] + rZM[k+1] + rZP[k-1] + rZP[k+1] +
+							rPM[k] + rPZ[k-1] + rPZ[k+1] + rPP[k]
+						oZZ[k] = uZZ[k] + (zZZ[k] + ((c0*rZZ[k] + c1*s1) + c2*s2))
+					}
+					continue
+				}
+				for k := 1; k < n2-1; k++ {
+					s1 := rMZ[k] + rZM[k] + rZZ[k-1] + rZZ[k+1] + rZP[k] + rPZ[k]
+					s2 := rMM[k] + rMZ[k-1] + rMZ[k+1] + rMP[k] +
+						rZM[k-1] + rZM[k+1] + rZP[k-1] + rZP[k+1] +
+						rPM[k] + rPZ[k-1] + rPZ[k+1] + rPP[k]
+					s3 := rMM[k-1] + rMM[k+1] + rMP[k-1] + rMP[k+1] +
+						rPM[k-1] + rPM[k+1] + rPP[k-1] + rPP[k+1]
+					oZZ[k] = uZZ[k] + (zZZ[k] + (((c0*rZZ[k] + c1*s1) + c2*s2) + c3*s3))
+				}
+			}
+		}
+	})
+	return out
+}
+
+// addBorders writes dst = a + b on the six boundary planes of a rank-3
+// grid.
+func addBorders(dst, a, b []float64, n0, n1, n2 int) {
+	plane := n1 * n2
+	for x := 0; x < plane; x++ {
+		dst[x] = a[x] + b[x]
+	}
+	off := (n0 - 1) * plane
+	for x := 0; x < plane; x++ {
+		dst[off+x] = a[off+x] + b[off+x]
+	}
+	for i := 1; i < n0-1; i++ {
+		top := i * plane
+		for x := 0; x < n2; x++ {
+			dst[top+x] = a[top+x] + b[top+x]
+		}
+		bot := top + (n1-1)*n2
+		for x := 0; x < n2; x++ {
+			dst[bot+x] = a[bot+x] + b[bot+x]
+		}
+		for j := 1; j < n1-1; j++ {
+			row := (i*n1 + j) * n2
+			dst[row] = a[row] + b[row]
+			dst[row+n2-1] = a[row+n2-1] + b[row+n2-1]
+		}
+	}
+}
+
+// projectCondense computes the folded Fine2Coarse tail:
+// embed(shape+1, 0, condense(2, Relax(r, c))) — the P stencil evaluated
+// only at the even fine points that survive condensation. r must have its
+// periodic border prepared. The coarse boundary is zero, exactly like the
+// unfolded relax (zero border) → condense → embed chain.
+func projectCondense(e *wl.Env, r *array.Array, c stencil.Coeffs) *array.Array {
+	mf := r.Shape()[0]
+	// condense halves the extent (mf/2), embed adds the missing boundary
+	// element: the coarse extended extent is mf/2 + 1.
+	mo := mf/2 + 1
+	out := e.NewArray(shape.Of(mo, mo, mo))
+	od, rd := out.Data(), r.Data()
+	c0, c1, c2, c3 := c[0], c[1], c[2], c[3]
+	forPlanes(e, mo, (mo-2)*(mo-2), func(lo, hi int) {
+		for jc := lo; jc < hi; jc++ {
+			i := 2 * jc
+			for j2 := 1; j2 < mo-1; j2++ {
+				j := 2 * j2
+				mm := ((i-1)*mf + (j - 1)) * mf
+				mz := ((i-1)*mf + j) * mf
+				mp := ((i-1)*mf + (j + 1)) * mf
+				zm := (i*mf + (j - 1)) * mf
+				zz := (i*mf + j) * mf
+				zp := (i*mf + (j + 1)) * mf
+				pm := ((i+1)*mf + (j - 1)) * mf
+				pz := ((i+1)*mf + j) * mf
+				pp := ((i+1)*mf + (j + 1)) * mf
+				base := (jc*mo + j2) * mo
+				for j1 := 1; j1 < mo-1; j1++ {
+					k := 2 * j1
+					s1 := rd[mz+k] + rd[zm+k] + rd[zz+k-1] + rd[zz+k+1] + rd[zp+k] + rd[pz+k]
+					s2 := rd[mm+k] + rd[mz+k-1] + rd[mz+k+1] + rd[mp+k] +
+						rd[zm+k-1] + rd[zm+k+1] + rd[zp+k-1] + rd[zp+k+1] +
+						rd[pm+k] + rd[pz+k-1] + rd[pz+k+1] + rd[pp+k]
+					s3 := rd[mm+k-1] + rd[mm+k+1] + rd[mp+k-1] + rd[mp+k+1] +
+						rd[pm+k-1] + rd[pm+k+1] + rd[pp+k-1] + rd[pp+k+1]
+					od[base+j1] = ((c0*rd[zz+k] + c1*s1) + c2*s2) + c3*s3
+				}
+			}
+		}
+	})
+	return out
+}
+
+// interpolate computes the folded Coarse2Fine:
+// Relax(take(shape−2, scatter(2, rn)), Q) — exploiting that the scattered
+// grid is zero except at even positions, so each fine element is a
+// Q-weighted sum of its 1, 2, 4 or 8 nearest coarse points (trilinear
+// interpolation). rn must have its periodic border prepared. The
+// contributing coarse values are summed in the same lexicographic offset
+// order as the generic kernel, so the result is bit-identical to the
+// unfolded chain (the eliminated terms are exact zeros).
+func interpolate(e *wl.Env, rn *array.Array, c stencil.Coeffs) *array.Array {
+	mc := rn.Shape()[0]
+	mf := 2*mc - 2
+	out := e.NewArray(shape.Of(mf, mf, mf))
+	od, zd := out.Data(), rn.Data()
+	c0, c1, c2, c3 := c[0], c[1], c[2], c[3]
+	forPlanes(e, mf, (mf-2)*(mf-2), func(lo, hi int) {
+		for f3 := lo; f3 < hi; f3++ {
+			l3, h3, o3 := f3/2, (f3+1)/2, f3&1 == 1
+			for f2 := 1; f2 < mf-1; f2++ {
+				l2, h2, o2 := f2/2, (f2+1)/2, f2&1 == 1
+				// Row bases of the up-to-four contributing coarse rows.
+				bll := (l3*mc + l2) * mc
+				blh := (l3*mc + h2) * mc
+				bhl := (h3*mc + l2) * mc
+				bhh := (h3*mc + h2) * mc
+				base := (f3*mf + f2) * mf
+				for f1 := 1; f1 < mf-1; f1++ {
+					l1, h1, o1 := f1/2, (f1+1)/2, f1&1 == 1
+					var val float64
+					switch {
+					case !o3 && !o2 && !o1:
+						val = c0 * zd[bll+l1]
+					case !o3 && !o2 && o1:
+						val = c1 * (zd[bll+l1] + zd[bll+h1])
+					case !o3 && o2 && !o1:
+						val = c1 * (zd[bll+l1] + zd[blh+l1])
+					case o3 && !o2 && !o1:
+						val = c1 * (zd[bll+l1] + zd[bhl+l1])
+					case !o3 && o2 && o1:
+						val = c2 * (zd[bll+l1] + zd[bll+h1] + zd[blh+l1] + zd[blh+h1])
+					case o3 && !o2 && o1:
+						val = c2 * (zd[bll+l1] + zd[bll+h1] + zd[bhl+l1] + zd[bhl+h1])
+					case o3 && o2 && !o1:
+						val = c2 * (zd[bll+l1] + zd[blh+l1] + zd[bhl+l1] + zd[bhh+l1])
+					default:
+						val = c3 * (zd[bll+l1] + zd[bll+h1] + zd[blh+l1] + zd[blh+h1] +
+							zd[bhl+l1] + zd[bhl+h1] + zd[bhh+l1] + zd[bhh+h1])
+					}
+					od[base+f1] = val
+				}
+			}
+		}
+	})
+	return out
+}
+
+// copyBorders copies the six boundary planes of a rank-3 grid from src to
+// dst (both flat, same extents).
+func copyBorders(dst, src []float64, n0, n1, n2 int) {
+	plane := n1 * n2
+	copy(dst[:plane], src[:plane])
+	copy(dst[(n0-1)*plane:], src[(n0-1)*plane:])
+	for i := 1; i < n0-1; i++ {
+		top := i * plane
+		copy(dst[top:top+n2], src[top:top+n2])
+		bot := top + (n1-1)*n2
+		copy(dst[bot:bot+n2], src[bot:bot+n2])
+	}
+	// The k-axis edges of every interior row.
+	for i := 1; i < n0-1; i++ {
+		for j := 1; j < n1-1; j++ {
+			row := (i*n1 + j) * n2
+			dst[row] = src[row]
+			dst[row+n2-1] = src[row+n2-1]
+		}
+	}
+}

@@ -1,0 +1,317 @@
+// The SAC program as data: an expression IR of the MG algorithm and the
+// WITH-loop-folding optimizer that rewrites it.
+//
+// fused.go supplies hand-written folded kernels; this file demonstrates
+// that the folds are *derivable*: the paper's VCycle/MGrid expressions are
+// built as an operation DAG (exactly the compositions of Figs. 4/6/7), and
+// Optimize applies the rewrite rules of WITH-loop folding (paper reference
+// [28]) to produce the fused forms mechanically:
+//
+//	Sub(v, Relax(Border(u), c))             → FSubRelax(v, u, c)
+//	Add(z, Relax(Border(r), c))             → FAddRelax(z, r, c)
+//	EmbedGrow(Condense(Relax(Border(r),c))) → FProject(r, c)
+//	Relax(TakeShrink(Scatter(Border(z))),c) → FInterp(z, c)
+//
+// Eval executes either form; the test suite checks that the optimized DAG
+// produces bit-identical results and counts how many whole-array
+// traversals folding eliminates.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/aplib"
+	"repro/internal/array"
+	"repro/internal/shape"
+	"repro/internal/stencil"
+)
+
+// Expr is one node of a SAC program DAG. Sub-expressions are shared by
+// pointer; Eval memoizes per node, so a value used twice is computed once
+// (SAC's own semantics — it names intermediate values).
+type Expr interface{ exprNode() }
+
+// Input references a named argument array.
+type Input struct{ Name string }
+
+// Border is SetupPeriodicBorder(X).
+type Border struct{ X Expr }
+
+// RelaxOp is RelaxKernel(X, C).
+type RelaxOp struct {
+	X Expr
+	C stencil.Coeffs
+}
+
+// SubOp is the element-wise A − B.
+type SubOp struct{ A, B Expr }
+
+// AddOp is the element-wise A + B.
+type AddOp struct{ A, B Expr }
+
+// CondenseOp is condense(2, X).
+type CondenseOp struct{ X Expr }
+
+// EmbedGrow is embed(shape(X)+1, 0, X) — the Fine2Coarse padding.
+type EmbedGrow struct{ X Expr }
+
+// ScatterOp is scatter(2, X).
+type ScatterOp struct{ X Expr }
+
+// TakeShrink is take(shape(X)−2, X) — the Coarse2Fine trimming.
+type TakeShrink struct{ X Expr }
+
+// The folded forms produced by Optimize:
+
+// FSubRelax is V − Relax(Border(U), C) in one traversal.
+type FSubRelax struct {
+	V, U Expr
+	C    stencil.Coeffs
+}
+
+// FAddRelax is Z + Relax(Border(R), C) in one traversal.
+type FAddRelax struct {
+	Z, R Expr
+	C    stencil.Coeffs
+}
+
+// FProject is EmbedGrow(Condense(Relax(Border(R), C))) in one traversal
+// of the surviving points.
+type FProject struct {
+	R Expr
+	C stencil.Coeffs
+}
+
+// FInterp is Relax(TakeShrink(Scatter(Border(Z))), C) as direct
+// interpolation.
+type FInterp struct {
+	Z Expr
+	C stencil.Coeffs
+}
+
+func (*Input) exprNode()      {}
+func (*Border) exprNode()     {}
+func (*RelaxOp) exprNode()    {}
+func (*SubOp) exprNode()      {}
+func (*AddOp) exprNode()      {}
+func (*CondenseOp) exprNode() {}
+func (*EmbedGrow) exprNode()  {}
+func (*ScatterOp) exprNode()  {}
+func (*TakeShrink) exprNode() {}
+func (*FSubRelax) exprNode()  {}
+func (*FAddRelax) exprNode()  {}
+func (*FProject) exprNode()   {}
+func (*FInterp) exprNode()    {}
+
+// VCycleExpr builds the paper's Fig. 4 V-cycle as an expression DAG over
+// the residual input r, for a hierarchy of the given depth (depth 1 is
+// the coarsest level: a single smoothing step). The structure is the
+// literal composition of Resid, Smooth, Fine2Coarse and Coarse2Fine from
+// Figs. 6/7.
+func VCycleExpr(r Expr, depth int, smoother stencil.Coeffs) Expr {
+	if depth <= 1 {
+		return &RelaxOp{X: &Border{X: r}, C: smoother} // z = Smooth(r)
+	}
+	// rn = Fine2Coarse(r) = embed(+1, condense(2, Relax(Border(r), P)))
+	rn := &EmbedGrow{X: &CondenseOp{X: &RelaxOp{X: &Border{X: r}, C: stencil.P}}}
+	zn := VCycleExpr(rn, depth-1, smoother)
+	// z = Coarse2Fine(zn) = Relax(take(-2, scatter(2, Border(zn))), Q)
+	z := &RelaxOp{X: &TakeShrink{X: &ScatterOp{X: &Border{X: zn}}}, C: stencil.Q}
+	// r2 = r − Resid(z);  result = z + Smooth(r2)
+	r2 := &SubOp{A: r, B: &RelaxOp{X: &Border{X: z}, C: stencil.A}}
+	return &AddOp{A: z, B: &RelaxOp{X: &Border{X: r2}, C: smoother}}
+}
+
+// MGridIterExpr builds one iteration of the paper's Fig. 4 MGrid loop as
+// an expression over the inputs u and v:
+//
+//	r = v − Resid(u);  u' = u + VCycle(r)
+//
+// The returned DAG computes u'.
+func MGridIterExpr(u, v Expr, depth int, smoother stencil.Coeffs) Expr {
+	r := &SubOp{A: v, B: &RelaxOp{X: &Border{X: u}, C: stencil.A}}
+	return &AddOp{A: u, B: VCycleExpr(r, depth, smoother)}
+}
+
+// Optimize applies the WITH-loop-folding rewrite rules bottom-up and
+// returns the rewritten DAG with the number of folds performed. Shared
+// sub-expressions are rewritten once.
+func Optimize(e Expr) (Expr, int) {
+	folds := 0
+	memo := map[Expr]Expr{}
+	var opt func(Expr) Expr
+	opt = func(e Expr) Expr {
+		if r, ok := memo[e]; ok {
+			return r
+		}
+		var out Expr
+		switch n := e.(type) {
+		case *Input:
+			out = n
+		case *Border:
+			out = &Border{X: opt(n.X)}
+		case *RelaxOp:
+			x := opt(n.X)
+			// Relax(TakeShrink(Scatter(Border(z)))) → FInterp(z).
+			if tk, ok := x.(*TakeShrink); ok {
+				if sc, ok := tk.X.(*ScatterOp); ok {
+					if bd, ok := sc.X.(*Border); ok {
+						folds++
+						out = &FInterp{Z: bd.X, C: n.C}
+						break
+					}
+				}
+			}
+			out = &RelaxOp{X: x, C: n.C}
+		case *SubOp:
+			a, b := opt(n.A), opt(n.B)
+			// Sub(v, Relax(Border(u))) → FSubRelax(v, u).
+			if rl, ok := b.(*RelaxOp); ok {
+				if bd, ok := rl.X.(*Border); ok {
+					folds++
+					out = &FSubRelax{V: a, U: bd.X, C: rl.C}
+					break
+				}
+			}
+			out = &SubOp{A: a, B: b}
+		case *AddOp:
+			a, b := opt(n.A), opt(n.B)
+			// Add(z, Relax(Border(r))) → FAddRelax(z, r).
+			if rl, ok := b.(*RelaxOp); ok {
+				if bd, ok := rl.X.(*Border); ok {
+					folds++
+					out = &FAddRelax{Z: a, R: bd.X, C: rl.C}
+					break
+				}
+			}
+			out = &AddOp{A: a, B: b}
+		case *EmbedGrow:
+			x := opt(n.X)
+			// EmbedGrow(Condense(Relax(Border(r)))) → FProject(r).
+			if cd, ok := x.(*CondenseOp); ok {
+				if rl, ok := cd.X.(*RelaxOp); ok {
+					if bd, ok := rl.X.(*Border); ok {
+						folds++
+						out = &FProject{R: bd.X, C: rl.C}
+						break
+					}
+				}
+			}
+			out = &EmbedGrow{X: x}
+		case *CondenseOp:
+			out = &CondenseOp{X: opt(n.X)}
+		case *ScatterOp:
+			out = &ScatterOp{X: opt(n.X)}
+		case *TakeShrink:
+			out = &TakeShrink{X: opt(n.X)}
+		default:
+			out = e // already-folded nodes pass through
+		}
+		memo[e] = out
+		return out
+	}
+	return opt(e), folds
+}
+
+// Traversals counts the whole-array operations a DAG performs — the
+// static cost metric WITH-loop folding improves (each fused node is one
+// traversal where the unfolded form needed two to four).
+func Traversals(e Expr) int {
+	seen := map[Expr]bool{}
+	var walk func(Expr) int
+	walk = func(e Expr) int {
+		if seen[e] {
+			return 0
+		}
+		seen[e] = true
+		switch n := e.(type) {
+		case *Input:
+			return 0
+		case *Border:
+			return 1 + walk(n.X)
+		case *RelaxOp:
+			return 1 + walk(n.X)
+		case *SubOp:
+			return 1 + walk(n.A) + walk(n.B)
+		case *AddOp:
+			return 1 + walk(n.A) + walk(n.B)
+		case *CondenseOp:
+			return 1 + walk(n.X)
+		case *EmbedGrow:
+			return 1 + walk(n.X)
+		case *ScatterOp:
+			return 1 + walk(n.X)
+		case *TakeShrink:
+			return 1 + walk(n.X)
+		case *FSubRelax:
+			return 2 + walk(n.V) + walk(n.U) // border + fused traversal
+		case *FAddRelax:
+			return 2 + walk(n.Z) + walk(n.R)
+		case *FProject:
+			return 2 + walk(n.R)
+		case *FInterp:
+			return 2 + walk(n.Z)
+		default:
+			panic(fmt.Sprintf("core: Traversals: unknown node %T", e))
+		}
+	}
+	return walk(e)
+}
+
+// EvalExpr evaluates a program DAG against named inputs. Shared nodes are
+// computed once. Inputs are never mutated (Border copies before updating),
+// so the evaluation is purely functional like the SAC source.
+func (s *Solver) EvalExpr(e Expr, inputs map[string]*array.Array) *array.Array {
+	memo := map[Expr]*array.Array{}
+	var eval func(Expr) *array.Array
+	eval = func(e Expr) *array.Array {
+		if v, ok := memo[e]; ok {
+			return v
+		}
+		var out *array.Array
+		switch n := e.(type) {
+		case *Input:
+			v, ok := inputs[n.Name]
+			if !ok {
+				panic(fmt.Sprintf("core: EvalExpr: unbound input %q", n.Name))
+			}
+			out = v
+		case *Border:
+			out = s.SetupPeriodicBorder(eval(n.X).Clone())
+		case *RelaxOp:
+			out = stencil.Relax(s.Env, eval(n.X), n.C)
+		case *SubOp:
+			out = aplib.Sub(s.Env, eval(n.A), eval(n.B))
+		case *AddOp:
+			out = aplib.Add(s.Env, eval(n.A), eval(n.B))
+		case *CondenseOp:
+			out = aplib.Condense(s.Env, 2, eval(n.X))
+		case *EmbedGrow:
+			x := eval(n.X)
+			out = aplib.Embed(s.Env, shape.Shape(shape.AddScalar([]int(x.Shape()), 1)),
+				shape.Zeros(x.Dim()), x)
+		case *ScatterOp:
+			out = aplib.Scatter(s.Env, 2, eval(n.X))
+		case *TakeShrink:
+			x := eval(n.X)
+			out = aplib.Take(s.Env, shape.Shape(shape.AddScalar([]int(x.Shape()), -2)), x)
+		case *FSubRelax:
+			ub := s.SetupPeriodicBorder(eval(n.U).Clone())
+			out = subRelax(s.Env, eval(n.V), ub, n.C)
+		case *FAddRelax:
+			rb := s.SetupPeriodicBorder(eval(n.R).Clone())
+			out = addRelax(s.Env, eval(n.Z), rb, n.C)
+		case *FProject:
+			rb := s.SetupPeriodicBorder(eval(n.R).Clone())
+			out = projectCondense(s.Env, rb, n.C)
+		case *FInterp:
+			zb := s.SetupPeriodicBorder(eval(n.Z).Clone())
+			out = interpolate(s.Env, zb, n.C)
+		default:
+			panic(fmt.Sprintf("core: EvalExpr: unknown node %T", e))
+		}
+		memo[e] = out
+		return out
+	}
+	return eval(e)
+}

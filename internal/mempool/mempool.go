@@ -1,0 +1,226 @@
+// Package mempool models SAC's dynamic memory management.
+//
+// SAC is purely functional: every array operation conceptually produces a
+// fresh array, and the runtime system reclaims argument arrays through
+// reference counting. The paper attributes the residual scalability loss of
+// the MG benchmark to exactly this subsystem: "the absolute overhead
+// incurred by memory management operations is invariant against grid sizes
+// involved, [so] it is negligible for large grids but shows a growing
+// performance impact with decreasing grid size".
+//
+// This package reproduces that behaviour with a size-classed free list:
+// a released buffer of n elements satisfies the next request for exactly n
+// elements, which is the common case in MG where the same per-level grid
+// sizes recur every V-cycle (SAC's reference-count-driven immediate reuse
+// has the same effect). The pool keeps allocation statistics so experiments
+// can report how much traffic the memory manager absorbs, and it can be
+// disabled to measure the cost of always allocating — the malloc-per-op
+// ablation in bench_test.go.
+package mempool
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Stats counts memory-manager events since the pool was created or Reset.
+type Stats struct {
+	// Allocs is the number of requests that had to allocate fresh memory.
+	Allocs uint64
+	// Reuses is the number of requests satisfied from the free list.
+	Reuses uint64
+	// Puts is the number of buffers returned to the pool.
+	Puts uint64
+	// Discards is the number of returned buffers dropped because the free
+	// list for their size class was full.
+	Discards uint64
+	// BytesAllocated is the total fresh memory allocated, in bytes.
+	BytesAllocated uint64
+}
+
+// String summarizes the statistics on one line.
+func (s Stats) String() string {
+	return fmt.Sprintf("allocs=%d reuses=%d puts=%d discards=%d bytes=%d",
+		s.Allocs, s.Reuses, s.Puts, s.Discards, s.BytesAllocated)
+}
+
+// Pool is a size-classed free list of float64 buffers. The zero value is
+// not usable; call New. A nil *Pool behaves like a disabled pool (every Get
+// allocates, every Put is dropped), so callers can thread an optional pool
+// without nil checks.
+type Pool struct {
+	mu         sync.Mutex
+	free       map[int][][]float64
+	stats      Stats
+	enabled    bool
+	maxPerSize int
+	// paranoid tracks live buffers to detect release-discipline bugs
+	// (double Put, Put of a foreign buffer) — the errors a real
+	// reference-counting runtime must never make. Keys are the address of
+	// the first element.
+	paranoid map[*float64]bool
+}
+
+// DefaultMaxPerSize bounds the number of retained buffers per size class.
+// MG needs at most a handful of same-size temporaries alive at once.
+const DefaultMaxPerSize = 8
+
+// New creates a pool. If enabled is false the pool degenerates to plain
+// allocation but still counts events, which keeps the ablation code paths
+// identical.
+func New(enabled bool) *Pool {
+	return &Pool{
+		free:       make(map[int][][]float64),
+		enabled:    enabled,
+		maxPerSize: DefaultMaxPerSize,
+	}
+}
+
+// SetParanoid enables (or disables) release-discipline checking: every
+// buffer handed out by Get is tracked, and Put panics when given a buffer
+// that is not currently live — a double release or a foreign buffer.
+// SAC's reference-counting correctness argument corresponds exactly to
+// this discipline; the MG solvers run their test suites with it on.
+func (p *Pool) SetParanoid(on bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if on {
+		p.paranoid = make(map[*float64]bool)
+	} else {
+		p.paranoid = nil
+	}
+}
+
+// SetMaxPerSize changes the per-size-class retention bound.
+func (p *Pool) SetMaxPerSize(n int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.maxPerSize = n
+}
+
+// Enabled reports whether the pool actually recycles buffers.
+func (p *Pool) Enabled() bool {
+	if p == nil {
+		return false
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.enabled
+}
+
+// Get returns a zeroed buffer of exactly n float64s.
+func (p *Pool) Get(n int) []float64 {
+	buf := p.GetDirty(n)
+	clear(buf)
+	return buf
+}
+
+// GetDirty returns a buffer of exactly n float64s with unspecified contents.
+// Use it when every element will be overwritten (modarray, full genarray).
+func (p *Pool) GetDirty(n int) []float64 {
+	if p == nil {
+		return make([]float64, n)
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.enabled {
+		if list := p.free[n]; len(list) > 0 {
+			buf := list[len(list)-1]
+			p.free[n] = list[:len(list)-1]
+			p.stats.Reuses++
+			p.track(buf)
+			return buf
+		}
+	}
+	p.stats.Allocs++
+	p.stats.BytesAllocated += uint64(n) * 8
+	buf := make([]float64, n)
+	p.track(buf)
+	return buf
+}
+
+// track registers a live buffer under paranoid checking (caller holds mu).
+func (p *Pool) track(buf []float64) {
+	if p.paranoid != nil && len(buf) > 0 {
+		p.paranoid[&buf[0]] = true
+	}
+}
+
+// Put returns a buffer to the pool for reuse. The caller must not use buf
+// afterwards. Putting a nil or empty buffer is a no-op.
+func (p *Pool) Put(buf []float64) {
+	if p == nil || len(buf) == 0 {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.paranoid != nil {
+		key := &buf[0]
+		if !p.paranoid[key] {
+			panic("mempool: Put of a buffer that is not live (double release or foreign buffer)")
+		}
+		delete(p.paranoid, key)
+	}
+	p.stats.Puts++
+	if !p.enabled {
+		p.stats.Discards++
+		return
+	}
+	n := len(buf)
+	if len(p.free[n]) >= p.maxPerSize {
+		p.stats.Discards++
+		return
+	}
+	p.free[n] = append(p.free[n], buf[:n])
+}
+
+// Stats returns a snapshot of the counters.
+func (p *Pool) Stats() Stats {
+	if p == nil {
+		return Stats{}
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.stats
+}
+
+// Reset drops all retained buffers and zeroes the counters.
+func (p *Pool) Reset() {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.free = make(map[int][][]float64)
+	p.stats = Stats{}
+	if p.paranoid != nil {
+		p.paranoid = make(map[*float64]bool)
+	}
+}
+
+// Live returns the number of buffers currently tracked as outstanding
+// (paranoid mode only; 0 otherwise). A steady-state leak in a solver
+// shows up as Live growing across iterations.
+func (p *Pool) Live() int {
+	if p == nil {
+		return 0
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.paranoid)
+}
+
+// Retained returns the number of buffers currently held on free lists,
+// summed over all size classes.
+func (p *Pool) Retained() int {
+	if p == nil {
+		return 0
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	total := 0
+	for _, list := range p.free {
+		total += len(list)
+	}
+	return total
+}

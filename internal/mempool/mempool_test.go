@@ -1,0 +1,259 @@
+package mempool
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestGetZeroed(t *testing.T) {
+	p := New(true)
+	buf := p.Get(8)
+	buf[3] = 42
+	p.Put(buf)
+	buf2 := p.Get(8)
+	for i, v := range buf2 {
+		if v != 0 {
+			t.Fatalf("reused buffer not zeroed at %d: %g", i, v)
+		}
+	}
+}
+
+func TestGetDirtyReusesExactSize(t *testing.T) {
+	p := New(true)
+	a := p.GetDirty(16)
+	p.Put(a)
+	b := p.GetDirty(16)
+	if &a[0] != &b[0] {
+		t.Fatal("exact-size request did not reuse the freed buffer")
+	}
+	st := p.Stats()
+	if st.Allocs != 1 || st.Reuses != 1 || st.Puts != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestDifferentSizesDoNotMix(t *testing.T) {
+	p := New(true)
+	a := p.GetDirty(16)
+	p.Put(a)
+	b := p.GetDirty(17)
+	if len(b) != 17 {
+		t.Fatalf("got len %d", len(b))
+	}
+	if p.Stats().Reuses != 0 {
+		t.Fatal("pool reused a buffer of the wrong size")
+	}
+}
+
+func TestDisabledPoolAlwaysAllocates(t *testing.T) {
+	p := New(false)
+	a := p.GetDirty(8)
+	p.Put(a)
+	b := p.GetDirty(8)
+	if &a[0] == &b[0] {
+		t.Fatal("disabled pool reused a buffer")
+	}
+	st := p.Stats()
+	if st.Allocs != 2 || st.Reuses != 0 || st.Discards != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if p.Enabled() {
+		t.Fatal("Enabled() = true for disabled pool")
+	}
+}
+
+func TestNilPoolSafe(t *testing.T) {
+	var p *Pool
+	buf := p.Get(4)
+	if len(buf) != 4 {
+		t.Fatalf("nil pool Get len = %d", len(buf))
+	}
+	p.Put(buf)
+	if p.Stats() != (Stats{}) {
+		t.Fatal("nil pool stats not zero")
+	}
+	if p.Enabled() {
+		t.Fatal("nil pool reports enabled")
+	}
+	if p.Retained() != 0 {
+		t.Fatal("nil pool retains buffers")
+	}
+	p.Reset() // must not panic
+}
+
+func TestMaxPerSizeBound(t *testing.T) {
+	p := New(true)
+	p.SetMaxPerSize(2)
+	bufs := [][]float64{p.GetDirty(4), p.GetDirty(4), p.GetDirty(4)}
+	for _, b := range bufs {
+		p.Put(b)
+	}
+	if p.Retained() != 2 {
+		t.Fatalf("Retained = %d, want 2", p.Retained())
+	}
+	if p.Stats().Discards != 1 {
+		t.Fatalf("Discards = %d, want 1", p.Stats().Discards)
+	}
+}
+
+func TestPutEmptyNoop(t *testing.T) {
+	p := New(true)
+	p.Put(nil)
+	p.Put([]float64{})
+	if p.Stats().Puts != 0 || p.Retained() != 0 {
+		t.Fatal("empty Put was recorded")
+	}
+}
+
+func TestReset(t *testing.T) {
+	p := New(true)
+	p.Put(p.GetDirty(8))
+	p.Reset()
+	if p.Retained() != 0 || p.Stats() != (Stats{}) {
+		t.Fatal("Reset did not clear state")
+	}
+	// Pool still usable after Reset.
+	if len(p.Get(8)) != 8 {
+		t.Fatal("pool unusable after Reset")
+	}
+}
+
+func TestBytesAllocatedCounts(t *testing.T) {
+	p := New(true)
+	p.GetDirty(10)
+	p.GetDirty(6)
+	if got := p.Stats().BytesAllocated; got != 16*8 {
+		t.Fatalf("BytesAllocated = %d, want %d", got, 16*8)
+	}
+}
+
+func TestStatsString(t *testing.T) {
+	s := Stats{Allocs: 1, Reuses: 2, Puts: 3, Discards: 4, BytesAllocated: 5}
+	str := s.String()
+	for _, frag := range []string{"allocs=1", "reuses=2", "puts=3", "discards=4", "bytes=5"} {
+		if !strings.Contains(str, frag) {
+			t.Errorf("Stats.String() = %q missing %q", str, frag)
+		}
+	}
+}
+
+func TestConcurrentUse(t *testing.T) {
+	p := New(true)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(size int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				b := p.Get(size)
+				b[0] = float64(i)
+				p.Put(b)
+			}
+		}(8 + g%3)
+	}
+	wg.Wait()
+	st := p.Stats()
+	if st.Puts != 8*200 {
+		t.Fatalf("Puts = %d, want %d", st.Puts, 8*200)
+	}
+}
+
+// Property: a Get after a Put of size n always yields a zeroed buffer of
+// exactly n elements, for arbitrary interleavings of sizes.
+func TestGetAfterPutQuick(t *testing.T) {
+	f := func(sizes [12]uint8) bool {
+		p := New(true)
+		var held [][]float64
+		for _, s := range sizes {
+			n := int(s%32) + 1
+			b := p.Get(n)
+			if len(b) != n {
+				return false
+			}
+			for _, v := range b {
+				if v != 0 {
+					return false
+				}
+			}
+			b[0] = 1 // dirty it
+			held = append(held, b)
+			if len(held) > 3 {
+				p.Put(held[0])
+				held = held[1:]
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkGetPutPooled(b *testing.B) {
+	p := New(true)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf := p.GetDirty(64 * 64)
+		p.Put(buf)
+	}
+}
+
+func BenchmarkGetPutUnpooled(b *testing.B) {
+	p := New(false)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf := p.GetDirty(64 * 64)
+		p.Put(buf)
+	}
+}
+
+func TestParanoidDetectsDoublePut(t *testing.T) {
+	p := New(true)
+	p.SetParanoid(true)
+	buf := p.GetDirty(8)
+	p.Put(buf)
+	defer func() {
+		if recover() == nil {
+			t.Error("double Put not detected")
+		}
+	}()
+	p.Put(buf)
+}
+
+func TestParanoidDetectsForeignBuffer(t *testing.T) {
+	p := New(true)
+	p.SetParanoid(true)
+	defer func() {
+		if recover() == nil {
+			t.Error("foreign Put not detected")
+		}
+	}()
+	p.Put(make([]float64, 8))
+}
+
+func TestParanoidTracksReuse(t *testing.T) {
+	p := New(true)
+	p.SetParanoid(true)
+	a := p.GetDirty(8)
+	p.Put(a)
+	b := p.GetDirty(8) // reuses a's buffer; must be live again
+	if p.Live() != 1 {
+		t.Fatalf("Live = %d, want 1", p.Live())
+	}
+	p.Put(b) // must not panic
+	if p.Live() != 0 {
+		t.Fatalf("Live = %d after final Put", p.Live())
+	}
+}
+
+func TestParanoidOffByDefault(t *testing.T) {
+	p := New(true)
+	buf := p.GetDirty(8)
+	p.Put(buf)
+	p.Put(buf) // tolerated without paranoid mode (documented hazard)
+	if p.Live() != 0 {
+		t.Fatal("Live non-zero without paranoid mode")
+	}
+}

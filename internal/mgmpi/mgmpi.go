@@ -1,0 +1,662 @@
+// Package mgmpi implements NAS-MG in the style of the MPI-based parallel
+// reference implementation — the comparison the paper's future-work
+// section asks for (§7: "a direct comparison with the MPI-based parallel
+// reference implementation of NAS-MG would be interesting").
+//
+// Like the NPB MPI code, the grid is decomposed over a 3-dimensional
+// processor grid: each rank owns a sub-box with one halo cell on every
+// side, and the periodic boundary update comm3 becomes a sequence of
+// face exchanges, one axis at a time in the serial update's order
+// (contiguous axis first), so edge and corner values propagate exactly as
+// in the serial code. Levels whose per-rank extent would drop below two
+// cells on a distributed axis are agglomerated onto rank 0 and solved
+// serially there — the coarse-grid agglomeration of distributed
+// multigrid (NPB-MPI instead deactivates processors; agglomeration is the
+// documented substitution, DESIGN.md §4).
+//
+// A 1-D slab decomposition is the special case (R, 1, 1); New uses it,
+// New3D takes an explicit processor grid.
+//
+// Correctness: with one rank the computation is statement-identical to
+// internal/f77 and produces bit-identical norms; with many ranks the only
+// difference is the association order of the norm reduction, and the NPB
+// verification still passes (asserted by tests). The package also reports
+// the communication volume per benchmark run (messages and bytes), the
+// quantity a real distributed run pays for.
+package mgmpi
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/array"
+	"repro/internal/mpi"
+	"repro/internal/nas"
+	"repro/internal/shape"
+	"repro/internal/stencil"
+)
+
+// Message tags. Halo tags are offset by axis so protocol errors surface
+// as tag mismatches.
+const (
+	tagGather = iota + 1
+	tagScatter
+	tagNorm
+	tagBcast
+	tagHaloBase // +2*axis (low face), +2*axis+1 (high face)
+)
+
+// Solver runs the benchmark on a simulated MPI world.
+type Solver struct {
+	// Class is the NPB size class.
+	Class nas.Class
+	// Procs is the processor grid (axis 0, 1, 2); the world size is
+	// their product.
+	Procs [3]int
+
+	world *mpi.World
+}
+
+// New creates a 1-D slab-decomposed solver over `ranks` ranks — the
+// processor grid (ranks, 1, 1).
+func New(class nas.Class, ranks int) *Solver { return New3D(class, ranks, 1, 1) }
+
+// New3D creates a solver over the processor grid (r0, r1, r2). Every
+// extent must be a power of two, and every distributed axis must keep at
+// least two cells per rank at some level (2·r ≤ class.N).
+func New3D(class nas.Class, r0, r1, r2 int) *Solver {
+	for _, r := range [3]int{r0, r1, r2} {
+		if r < 1 || r&(r-1) != 0 || (r > 1 && 2*r > class.N) {
+			panic(fmt.Sprintf("mgmpi: processor grid extents must be powers of two with 2*r <= %d, got (%d,%d,%d)",
+				class.N, r0, r1, r2))
+		}
+	}
+	return &Solver{Class: class, Procs: [3]int{r0, r1, r2}, world: mpi.NewWorld(r0 * r1 * r2)}
+}
+
+// Ranks returns the world size.
+func (s *Solver) Ranks() int { return s.Procs[0] * s.Procs[1] * s.Procs[2] }
+
+// Stats returns the accumulated communication totals of all runs so far.
+func (s *Solver) Stats() mpi.Stats { return s.world.TotalStats() }
+
+// RankStats returns the accumulated per-rank communication counters.
+func (s *Solver) RankStats() []mpi.Stats { return s.world.Stats() }
+
+// Run executes the full benchmark (reset, initial residual, Iter ×
+// (V-cycle + residual), norms) across the world and returns the final
+// NPB norms.
+func (s *Solver) Run() (rnm2, rnmu float64) {
+	results := make([][2]float64, s.Ranks())
+	s.world.Run(func(c *mpi.Comm) {
+		st := newRankState(c, s.Class, s.Procs)
+		st.reset()
+		st.evalResid()
+		for it := 0; it < s.Class.Iter; it++ {
+			st.mg3P()
+			st.evalResid()
+		}
+		n2, nu := st.norms()
+		results[c.Rank()] = [2]float64{n2, nu}
+	})
+	return results[0][0], results[0][1]
+}
+
+// --- per-rank state -------------------------------------------------------------
+
+// rankState is one rank's view of the problem: its sub-box hierarchy for
+// the distributed levels and (on rank 0) the full grids of the
+// agglomerated coarse levels.
+type rankState struct {
+	c     *mpi.Comm
+	class nas.Class
+	lt    int    // finest level
+	lcd   int    // coarsest distributed level
+	procs [3]int // processor grid extents
+	coord [3]int // this rank's grid coordinates
+	a, cs stencil.Coeffs
+
+	u, r map[int]*array.Array // distributed levels: local sub-boxes
+	v    *array.Array         // finest right-hand-side sub-box
+
+	uFull, rFull map[int]*array.Array // agglomerated levels (rank 0)
+
+	// serialComm redirects comm3 to serial plane copies while rank 0
+	// works on agglomerated full grids.
+	serialComm bool
+}
+
+func newRankState(c *mpi.Comm, class nas.Class, procs [3]int) *rankState {
+	lt := class.LT()
+	// Coarsest distributed level: at least two cells per rank along every
+	// distributed axis, so every sub-box starts on an even global index
+	// and the restriction/prolongation pairing stays rank-local.
+	lcd := 1
+	for _, r := range procs {
+		l := 1
+		for r > 1 && (1<<l) < 2*r {
+			l++
+		}
+		if l > lcd {
+			lcd = l
+		}
+	}
+	rank := c.Rank()
+	coord := [3]int{
+		rank / (procs[1] * procs[2]),
+		(rank / procs[2]) % procs[1],
+		rank % procs[2],
+	}
+	st := &rankState{
+		c: c, class: class, lt: lt, lcd: lcd, procs: procs, coord: coord,
+		a: stencil.A, cs: class.SmootherCoeffs(),
+		u: map[int]*array.Array{}, r: map[int]*array.Array{},
+		uFull: map[int]*array.Array{}, rFull: map[int]*array.Array{},
+	}
+	for l := lcd; l <= lt; l++ {
+		st.u[l] = array.New(st.boxShape(l))
+		st.r[l] = array.New(st.boxShape(l))
+	}
+	st.v = array.New(st.boxShape(lt))
+	if rank == 0 {
+		for l := 1; l < lcd; l++ {
+			st.uFull[l] = array.New(class.ExtShape(l))
+			st.rFull[l] = array.New(class.ExtShape(l))
+		}
+		if lcd > 1 {
+			st.rFull[lcd] = array.New(class.ExtShape(lcd))
+			st.uFull[lcd] = array.New(class.ExtShape(lcd))
+		}
+	}
+	return st
+}
+
+// local returns the number of interior cells this rank owns along axis a
+// at a distributed level.
+func (st *rankState) local(level, axis int) int { return (1 << level) / st.procs[axis] }
+
+func (st *rankState) boxShape(level int) shape.Shape {
+	return shape.Of(st.local(level, 0)+2, st.local(level, 1)+2, st.local(level, 2)+2)
+}
+
+// neighbour returns the rank of the grid neighbour along axis a (offset
+// ±1, periodic).
+func (st *rankState) neighbour(axis, delta int) int {
+	nc := st.coord
+	nc[axis] = (nc[axis] + delta + st.procs[axis]) % st.procs[axis]
+	return (nc[0]*st.procs[1]+nc[1])*st.procs[2] + nc[2]
+}
+
+// --- sub-box pack/unpack ----------------------------------------------------------
+
+// packBox copies the box [lo, hi] (inclusive) of d (extents n1×n2 within
+// rows) into a fresh buffer.
+func packBox(d []float64, n1, n2 int, lo, hi [3]int) []float64 {
+	out := make([]float64, 0, (hi[0]-lo[0]+1)*(hi[1]-lo[1]+1)*(hi[2]-lo[2]+1))
+	for i := lo[0]; i <= hi[0]; i++ {
+		for j := lo[1]; j <= hi[1]; j++ {
+			base := (i*n1 + j) * n2
+			out = append(out, d[base+lo[2]:base+hi[2]+1]...)
+		}
+	}
+	return out
+}
+
+// unpackBox writes buf into the box [lo, hi] of d.
+func unpackBox(d []float64, n1, n2 int, lo, hi [3]int, buf []float64) {
+	pos := 0
+	width := hi[2] - lo[2] + 1
+	for i := lo[0]; i <= hi[0]; i++ {
+		for j := lo[1]; j <= hi[1]; j++ {
+			base := (i*n1 + j) * n2
+			copy(d[base+lo[2]:base+lo[2]+width], buf[pos:pos+width])
+			pos += width
+		}
+	}
+}
+
+// copyBox copies the box src..srcHi of d onto dst (same extents) — the
+// local form of a periodic exchange along an undistributed axis.
+func copyBox(d []float64, n1, n2 int, lo, hi [3]int, dstLo [3]int) {
+	for i := lo[0]; i <= hi[0]; i++ {
+		for j := lo[1]; j <= hi[1]; j++ {
+			src := (i*n1+j)*n2 + lo[2]
+			di := dstLo[0] + (i - lo[0])
+			dj := dstLo[1] + (j - lo[1])
+			dst := (di*n1+dj)*n2 + dstLo[2]
+			copy(d[dst:dst+hi[2]-lo[2]+1], d[src:src+hi[2]-lo[2]+1])
+		}
+	}
+}
+
+// --- comm3: the distributed periodic boundary update ------------------------------
+
+// comm3 refreshes the halo cells of a local box. It mirrors the serial
+// nas.Comm3 exactly: axes are processed contiguous-first (axis 2, then 1,
+// then 0); each step covers the full extent of already-processed axes and
+// the interior of not-yet-processed ones, so edges and corners propagate
+// identically. Distributed axes exchange faces with the ring neighbours;
+// undistributed axes copy locally.
+func (st *rankState) comm3(a *array.Array) {
+	shp := a.Shape()
+	n0, n1, n2 := shp[0], shp[1], shp[2]
+	d := a.Data()
+	lp := [3]int{n0 - 2, n1 - 2, n2 - 2}
+
+	// Per-axis data ranges (inclusive): already-processed axes span
+	// everything including halos; later axes interior only.
+	ranges := func(axis int) (lo, hi [3]int) {
+		for x := 0; x < 3; x++ {
+			switch {
+			case x > axis: // processed before this one (we go 2,1,0)
+				lo[x], hi[x] = 0, lp[x]+1
+			case x < axis:
+				lo[x], hi[x] = 1, lp[x]
+			}
+		}
+		return lo, hi
+	}
+	setAxis := func(lo, hi [3]int, axis, v int) ([3]int, [3]int) {
+		lo[axis], hi[axis] = v, v
+		return lo, hi
+	}
+
+	for axis := 2; axis >= 0; axis-- {
+		lo, hi := ranges(axis)
+		if st.procs[axis] == 1 || st.serialComm {
+			// Local periodic copies: halo 0 ← interior lp; halo lp+1 ← 1.
+			sLo, sHi := setAxis(lo, hi, axis, lp[axis])
+			dLo, _ := setAxis(lo, hi, axis, 0)
+			copyBox(d, n1, n2, sLo, sHi, dLo)
+			sLo, sHi = setAxis(lo, hi, axis, 1)
+			dLo, _ = setAxis(lo, hi, axis, lp[axis]+1)
+			copyBox(d, n1, n2, sLo, sHi, dLo)
+			continue
+		}
+		up := st.neighbour(axis, +1)
+		down := st.neighbour(axis, -1)
+		tagHi := tagHaloBase + 2*axis
+		tagLo := tagHaloBase + 2*axis + 1
+		// Send my top interior face up; it becomes the upper neighbour's
+		// low halo. Then the reverse direction.
+		sLo, sHi := setAxis(lo, hi, axis, lp[axis])
+		st.c.Send(up, tagHi, packBox(d, n1, n2, sLo, sHi))
+		rLo, rHi := setAxis(lo, hi, axis, 0)
+		unpackBox(d, n1, n2, rLo, rHi, st.c.Recv(down, tagHi))
+		sLo, sHi = setAxis(lo, hi, axis, 1)
+		st.c.Send(down, tagLo, packBox(d, n1, n2, sLo, sHi))
+		rLo, rHi = setAxis(lo, hi, axis, lp[axis]+1)
+		unpackBox(d, n1, n2, rLo, rHi, st.c.Recv(up, tagLo))
+	}
+}
+
+// --- gather / scatter / broadcast ---------------------------------------------------
+
+// globalBox returns this rank's interior box in extended-global
+// coordinates at a distributed level.
+func (st *rankState) globalBox(level int) (lo, hi [3]int) {
+	for a := 0; a < 3; a++ {
+		lp := st.local(level, a)
+		lo[a] = st.coord[a]*lp + 1
+		hi[a] = lo[a] + lp - 1
+	}
+	return lo, hi
+}
+
+// rankBoxOf returns rank r's interior box at a level (extended-global).
+func (st *rankState) rankBoxOf(level, r int) (lo, hi [3]int) {
+	coord := [3]int{
+		r / (st.procs[1] * st.procs[2]),
+		(r / st.procs[2]) % st.procs[1],
+		r % st.procs[2],
+	}
+	for a := 0; a < 3; a++ {
+		lp := (1 << level) / st.procs[a]
+		lo[a] = coord[a]*lp + 1
+		hi[a] = lo[a] + lp - 1
+	}
+	return lo, hi
+}
+
+// gatherToRoot assembles a distributed level into rank 0's full grid.
+func (st *rankState) gatherToRoot(level int, box, full *array.Array) {
+	bs := box.Shape()
+	interiorLo := [3]int{1, 1, 1}
+	interiorHi := [3]int{bs[0] - 2, bs[1] - 2, bs[2] - 2}
+	payload := packBox(box.Data(), bs[1], bs[2], interiorLo, interiorHi)
+	if st.c.Rank() != 0 {
+		st.c.Send(0, tagGather, payload)
+		return
+	}
+	m := full.Shape()
+	fLo, fHi := st.globalBox(level)
+	unpackBox(full.Data(), m[1], m[2], fLo, fHi, payload)
+	for src := 1; src < st.c.Size(); src++ {
+		lo, hi := st.rankBoxOf(level, src)
+		unpackBox(full.Data(), m[1], m[2], lo, hi, st.c.Recv(src, tagGather))
+	}
+	nas.Comm3(full)
+}
+
+// scatterFromRoot distributes rank 0's full grid into the local boxes of
+// a distributed level (interior cells; halos are refreshed by comm3).
+func (st *rankState) scatterFromRoot(level int, full, box *array.Array) {
+	bs := box.Shape()
+	interiorLo := [3]int{1, 1, 1}
+	interiorHi := [3]int{bs[0] - 2, bs[1] - 2, bs[2] - 2}
+	if st.c.Rank() == 0 {
+		m := full.Shape()
+		for dst := 1; dst < st.c.Size(); dst++ {
+			lo, hi := st.rankBoxOf(level, dst)
+			st.c.Send(dst, tagScatter, packBox(full.Data(), m[1], m[2], lo, hi))
+		}
+		lo, hi := st.globalBox(level)
+		unpackBox(box.Data(), bs[1], bs[2], interiorLo, interiorHi,
+			packBox(full.Data(), m[1], m[2], lo, hi))
+		return
+	}
+	unpackBox(box.Data(), bs[1], bs[2], interiorLo, interiorHi, st.c.Recv(0, tagScatter))
+}
+
+// broadcastFull distributes rank 0's full grid to every rank.
+func (st *rankState) broadcastFull(full *array.Array, level int) *array.Array {
+	if st.c.Size() == 1 {
+		return full
+	}
+	if st.c.Rank() == 0 {
+		st.c.Broadcast(tagBcast, 0, full.Data())
+		return full
+	}
+	data := st.c.Broadcast(tagBcast, 0, nil)
+	out := array.New(st.class.ExtShape(level))
+	copy(out.Data(), data)
+	return out
+}
+
+// --- kernels (box forms of the mg.f loops) -----------------------------------------
+
+// row slices one contiguous lateral row of a box with extents (·, n1, n2).
+func row(d []float64, i, j, n1, n2 int) []float64 {
+	base := (i*n1 + j) * n2
+	return d[base : base+n2]
+}
+
+// resid computes r = v − A·u over the box interior and refreshes the
+// periodic boundary.
+func (st *rankState) resid(u, v, r *array.Array) {
+	shp := u.Shape()
+	n0, n1, n2 := shp[0], shp[1], shp[2]
+	ud, vd, rd := u.Data(), v.Data(), r.Data()
+	a0, a2, a3 := st.a[0], st.a[2], st.a[3]
+	u1 := make([]float64, n2)
+	u2 := make([]float64, n2)
+	for i3 := 1; i3 < n0-1; i3++ {
+		for i2 := 1; i2 < n1-1; i2++ {
+			uMM, uMZ, uMP := row(ud, i3-1, i2-1, n1, n2), row(ud, i3-1, i2, n1, n2), row(ud, i3-1, i2+1, n1, n2)
+			uZM, uZZ, uZP := row(ud, i3, i2-1, n1, n2), row(ud, i3, i2, n1, n2), row(ud, i3, i2+1, n1, n2)
+			uPM, uPZ, uPP := row(ud, i3+1, i2-1, n1, n2), row(ud, i3+1, i2, n1, n2), row(ud, i3+1, i2+1, n1, n2)
+			rZZ, vZZ := row(rd, i3, i2, n1, n2), row(vd, i3, i2, n1, n2)
+			for i1 := 0; i1 < n2; i1++ {
+				u1[i1] = uZM[i1] + uZP[i1] + uMZ[i1] + uPZ[i1]
+				u2[i1] = uMM[i1] + uMP[i1] + uPM[i1] + uPP[i1]
+			}
+			for i1 := 1; i1 < n2-1; i1++ {
+				rZZ[i1] = vZZ[i1] -
+					a0*uZZ[i1] -
+					a2*(u2[i1]+u1[i1-1]+u1[i1+1]) -
+					a3*(u2[i1-1]+u2[i1+1])
+			}
+		}
+	}
+	st.comm3(r)
+}
+
+// psinv computes u += S·r over the box interior and refreshes u's halo.
+func (st *rankState) psinv(r, u *array.Array) {
+	shp := u.Shape()
+	n0, n1, n2 := shp[0], shp[1], shp[2]
+	rd, ud := r.Data(), u.Data()
+	c0, c1, c2 := st.cs[0], st.cs[1], st.cs[2]
+	r1 := make([]float64, n2)
+	r2 := make([]float64, n2)
+	for i3 := 1; i3 < n0-1; i3++ {
+		for i2 := 1; i2 < n1-1; i2++ {
+			rMM, rMZ, rMP := row(rd, i3-1, i2-1, n1, n2), row(rd, i3-1, i2, n1, n2), row(rd, i3-1, i2+1, n1, n2)
+			rZM, rZZ, rZP := row(rd, i3, i2-1, n1, n2), row(rd, i3, i2, n1, n2), row(rd, i3, i2+1, n1, n2)
+			rPM, rPZ, rPP := row(rd, i3+1, i2-1, n1, n2), row(rd, i3+1, i2, n1, n2), row(rd, i3+1, i2+1, n1, n2)
+			uZZ := row(ud, i3, i2, n1, n2)
+			for i1 := 0; i1 < n2; i1++ {
+				r1[i1] = rZM[i1] + rZP[i1] + rMZ[i1] + rPZ[i1]
+				r2[i1] = rMM[i1] + rMP[i1] + rPM[i1] + rPP[i1]
+			}
+			for i1 := 1; i1 < n2-1; i1++ {
+				uZZ[i1] = uZZ[i1] +
+					c0*rZZ[i1] +
+					c1*(rZZ[i1-1]+rZZ[i1+1]+r1[i1]) +
+					c2*(r2[i1]+r1[i1-1]+r1[i1+1])
+			}
+		}
+	}
+	st.comm3(u)
+}
+
+// rprj3 restricts the fine box rk to the coarse box rj. Box alignment
+// makes the cell mapping local along every axis: coarse local (j3,j2,j1)
+// sits under fine local (2j3, 2j2, 2j1).
+func (st *rankState) rprj3(rk, rj *array.Array) {
+	fs, cs := rk.Shape(), rj.Shape()
+	fn1, fn2 := fs[1], fs[2]
+	cn0, cn1, cn2 := cs[0], cs[1], cs[2]
+	rd, sd := rk.Data(), rj.Data()
+	x1 := make([]float64, fn2)
+	y1 := make([]float64, fn2)
+	for j3 := 1; j3 < cn0-1; j3++ {
+		i3 := 2 * j3
+		for j2 := 1; j2 < cn1-1; j2++ {
+			i2 := 2 * j2
+			rMM, rMZ, rMP := row(rd, i3-1, i2-1, fn1, fn2), row(rd, i3-1, i2, fn1, fn2), row(rd, i3-1, i2+1, fn1, fn2)
+			rZM, rZZ, rZP := row(rd, i3, i2-1, fn1, fn2), row(rd, i3, i2, fn1, fn2), row(rd, i3, i2+1, fn1, fn2)
+			rPM, rPZ, rPP := row(rd, i3+1, i2-1, fn1, fn2), row(rd, i3+1, i2, fn1, fn2), row(rd, i3+1, i2+1, fn1, fn2)
+			sRow := row(sd, j3, j2, cn1, cn2)
+			for f := 1; f < fn2; f += 2 {
+				x1[f] = rZM[f] + rZP[f] + rMZ[f] + rPZ[f]
+				y1[f] = rMM[f] + rPM[f] + rMP[f] + rPP[f]
+			}
+			for j1 := 1; j1 < cn2-1; j1++ {
+				f := 2 * j1
+				y2 := rMM[f] + rPM[f] + rMP[f] + rPP[f]
+				x2 := rZM[f] + rZP[f] + rMZ[f] + rPZ[f]
+				sRow[j1] = 0.5*rZZ[f] +
+					0.25*(rZZ[f-1]+rZZ[f+1]+x2) +
+					0.125*(x1[f-1]+x1[f+1]+y2) +
+					0.0625*(y1[f-1]+y1[f+1])
+			}
+		}
+	}
+	st.comm3(rj)
+}
+
+// interpKernel adds the trilinear prolongation of the coarse boxes
+// [lo, lo+count] (inclusive, per axis) of z onto the fine box u, writing
+// fine cells 2·(c−lo) and 2·(c−lo)+1 along every axis. It serves the
+// box-to-box case (lo = 0, count = coarse interior extent) and the
+// agglomeration boundary (z the full grid, lo = this rank's coarse
+// offset).
+func interpKernel(z, u *array.Array, lo, count [3]int) {
+	zs, us := z.Shape(), u.Shape()
+	zn1, zn2 := zs[1], zs[2]
+	un1, un2 := us[1], us[2]
+	zd, ud := z.Data(), u.Data()
+	z1 := make([]float64, zn2)
+	z2 := make([]float64, zn2)
+	z3 := make([]float64, zn2)
+	kLo, kHi := lo[2], lo[2]+count[2] // coarse cells along the row axis
+	for c3 := lo[0]; c3 <= lo[0]+count[0]; c3++ {
+		f3 := 2 * (c3 - lo[0])
+		for c2 := lo[1]; c2 <= lo[1]+count[1]; c2++ {
+			f2 := 2 * (c2 - lo[1])
+			zB, zJ := row(zd, c3, c2, zn1, zn2), row(zd, c3, c2+1, zn1, zn2)
+			zK, zJK := row(zd, c3+1, c2, zn1, zn2), row(zd, c3+1, c2+1, zn1, zn2)
+			// The fine row reads z1..z3 at b and b+1, so fill one past kHi.
+			for b := kLo; b <= kHi+1; b++ {
+				z1[b] = zJ[b] + zB[b]
+				z2[b] = zK[b] + zB[b]
+				z3[b] = zJK[b] + zK[b] + z1[b]
+			}
+			u00, u01 := row(ud, f3, f2, un1, un2), row(ud, f3, f2+1, un1, un2)
+			u10, u11 := row(ud, f3+1, f2, un1, un2), row(ud, f3+1, f2+1, un1, un2)
+			for b := kLo; b <= kHi; b++ {
+				fb := 2 * (b - kLo)
+				u00[fb] += zB[b]
+				u00[fb+1] += 0.5 * (zB[b+1] + zB[b])
+			}
+			for b := kLo; b <= kHi; b++ {
+				fb := 2 * (b - kLo)
+				u01[fb] += 0.5 * z1[b]
+				u01[fb+1] += 0.25 * (z1[b] + z1[b+1])
+			}
+			for b := kLo; b <= kHi; b++ {
+				fb := 2 * (b - kLo)
+				u10[fb] += 0.5 * z2[b]
+				u10[fb+1] += 0.25 * (z2[b] + z2[b+1])
+			}
+			for b := kLo; b <= kHi; b++ {
+				fb := 2 * (b - kLo)
+				u11[fb] += 0.25 * z3[b]
+				u11[fb+1] += 0.125 * (z3[b] + z3[b+1])
+			}
+		}
+	}
+}
+
+// interpBox prolongs the coarse box z onto the fine box u (coarse local
+// cell c under fine local 2c along every axis, covering the fine halos).
+func (st *rankState) interpBox(z, u *array.Array) {
+	zs := z.Shape()
+	interpKernel(z, u, [3]int{0, 0, 0}, [3]int{zs[0] - 2, zs[1] - 2, zs[2] - 2})
+}
+
+// boundaryInterp prolongs the (broadcast) full coarse grid onto this
+// rank's fine box.
+func (st *rankState) boundaryInterp(zFull, u *array.Array) {
+	us := u.Shape()
+	var lo, count [3]int
+	for a := 0; a < 3; a++ {
+		lpf := us[a] - 2
+		lo[a] = st.coord[a] * lpf / 2
+		count[a] = lpf / 2
+	}
+	interpKernel(zFull, u, lo, count)
+}
+
+// --- driver -----------------------------------------------------------------------
+
+// reset rebuilds the initial state: rank 0 evaluates zran3 on the full
+// finest grid and scatters the sub-boxes.
+func (st *rankState) reset() {
+	for l := st.lcd; l <= st.lt; l++ {
+		st.u[l].Zero()
+		st.r[l].Zero()
+	}
+	for _, a := range st.uFull {
+		a.Zero()
+	}
+	for _, a := range st.rFull {
+		a.Zero()
+	}
+	if st.c.Rank() == 0 {
+		full := array.New(st.class.ExtShape(st.lt))
+		nas.Zran3(full, st.class.N)
+		st.scatterFromRoot(st.lt, full, st.v)
+	} else {
+		st.scatterFromRoot(st.lt, nil, st.v)
+	}
+	st.comm3(st.v)
+}
+
+// mg3P is one V-cycle across the distributed and agglomerated levels.
+func (st *rankState) mg3P() {
+	lt, lcd := st.lt, st.lcd
+	for l := lt; l > lcd; l-- {
+		st.rprj3(st.r[l], st.r[l-1])
+	}
+	if lcd > 1 {
+		st.gatherToRoot(lcd, st.r[lcd], st.rFull[lcd])
+		if st.c.Rank() == 0 {
+			st.serialDownUp()
+		}
+		zFull := st.broadcastFull(st.uFull[lcd-1], lcd-1)
+		if lcd == lt {
+			st.boundaryInterp(zFull, st.u[lcd])
+			st.resid(st.u[lcd], st.v, st.r[lcd])
+		} else {
+			st.u[lcd].Zero()
+			st.boundaryInterp(zFull, st.u[lcd])
+			st.resid(st.u[lcd], st.r[lcd], st.r[lcd])
+		}
+		st.psinv(st.r[lcd], st.u[lcd])
+	} else {
+		st.u[1].Zero()
+		st.psinv(st.r[1], st.u[1])
+	}
+	for l := lcd + 1; l <= lt-1; l++ {
+		st.u[l].Zero()
+		st.interpBox(st.u[l-1], st.u[l])
+		st.resid(st.u[l], st.r[l], st.r[l])
+		st.psinv(st.r[l], st.u[l])
+	}
+	if lt > lcd {
+		st.interpBox(st.u[lt-1], st.u[lt])
+		st.resid(st.u[lt], st.v, st.r[lt])
+		st.psinv(st.r[lt], st.u[lt])
+	}
+}
+
+// serialDownUp runs the agglomerated part of the V-cycle on rank 0.
+func (st *rankState) serialDownUp() {
+	st.serialComm = true
+	defer func() { st.serialComm = false }()
+	lcd := st.lcd
+	for l := lcd; l >= 2; l-- {
+		st.rprj3(st.rFull[l], st.rFull[l-1])
+	}
+	st.uFull[1].Zero()
+	st.psinv(st.rFull[1], st.uFull[1])
+	for l := 2; l <= lcd-1; l++ {
+		st.uFull[l].Zero()
+		st.interpBox(st.uFull[l-1], st.uFull[l])
+		st.resid(st.uFull[l], st.rFull[l], st.rFull[l])
+		st.psinv(st.rFull[l], st.uFull[l])
+	}
+}
+
+// evalResid recomputes the finest-level residual.
+func (st *rankState) evalResid() {
+	st.resid(st.u[st.lt], st.v, st.r[st.lt])
+}
+
+// norms computes the NPB norms over the distributed finest grid with a
+// deterministic rank-ordered reduction.
+func (st *rankState) norms() (rnm2, rnmu float64) {
+	r := st.r[st.lt]
+	shp := r.Shape()
+	d := r.Data()
+	var sum, maxAbs float64
+	for i3 := 1; i3 < shp[0]-1; i3++ {
+		for i2 := 1; i2 < shp[1]-1; i2++ {
+			base := (i3*shp[1] + i2) * shp[2]
+			for i1 := 1; i1 < shp[2]-1; i1++ {
+				v := d[base+i1]
+				sum += v * v
+				if a := math.Abs(v); a > maxAbs {
+					maxAbs = a
+				}
+			}
+		}
+	}
+	total := float64(st.class.N)
+	total = total * total * total
+	sum = st.c.AllReduceSum(tagNorm, sum)
+	maxAbs = st.c.AllReduceMax(tagNorm, maxAbs)
+	return math.Sqrt(sum / total), maxAbs
+}

@@ -1,0 +1,217 @@
+package mgmpi
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/f77"
+	"repro/internal/nas"
+)
+
+// One rank must reproduce the serial Fortran port bit for bit: the slab
+// kernels are the same statements and the "ring" degenerates to the
+// serial periodic copies.
+func TestSingleRankBitIdenticalToF77(t *testing.T) {
+	ref := f77.New(nas.ClassS)
+	want, _ := ref.Run()
+	s := New(nas.ClassS, 1)
+	got, _ := s.Run()
+	if got != want {
+		t.Fatalf("1-rank mgmpi rnm2 = %.17e, f77 %.17e", got, want)
+	}
+	if s.Stats().Messages != 0 {
+		t.Fatalf("1-rank run sent %d messages", s.Stats().Messages)
+	}
+}
+
+// Multi-rank runs verify officially and agree with the serial result far
+// beyond the tolerance (only the norm reduction order differs).
+func TestMultiRankVerifies(t *testing.T) {
+	ref := f77.New(nas.ClassS)
+	want, wantU := ref.Run()
+	for _, ranks := range []int{2, 4, 8, 16} {
+		s := New(nas.ClassS, ranks)
+		got, gotU := s.Run()
+		if verified, ok := nas.ClassS.Verify(got); !ok || !verified {
+			t.Fatalf("%d ranks: rnm2 = %.13e did not verify", ranks, got)
+		}
+		if rel := math.Abs(got-want) / want; rel > 1e-12 {
+			t.Fatalf("%d ranks: rnm2 = %.15e vs serial %.15e (rel %.2e)", ranks, got, want, rel)
+		}
+		if gotU != wantU {
+			t.Fatalf("%d ranks: rnmu = %.17e vs serial %.17e", ranks, gotU, wantU)
+		}
+	}
+}
+
+func TestMultiRankClassW(t *testing.T) {
+	if testing.Short() {
+		t.Skip("class W skipped in -short")
+	}
+	s := New(nas.ClassW, 4)
+	rnm2, _ := s.Run()
+	if verified, ok := nas.ClassW.Verify(rnm2); !ok || !verified {
+		want, _, _ := nas.ClassW.VerifyValue()
+		t.Fatalf("4-rank class W rnm2 = %.13e, want %.13e", rnm2, want)
+	}
+}
+
+// Determinism: repeated runs produce identical results (deterministic
+// collectives and FIFO messaging).
+func TestRunsDeterministic(t *testing.T) {
+	s := New(nas.ClassS, 4)
+	a, _ := s.Run()
+	b, _ := s.Run()
+	if a != b {
+		t.Fatalf("two runs differ: %v vs %v", a, b)
+	}
+}
+
+// Communication structure: every rank sends the same number of halo
+// messages (the decomposition is symmetric), and the total volume scales
+// with the surface area, not the volume, of the slabs.
+func TestCommunicationStructure(t *testing.T) {
+	s := New(nas.ClassS, 4)
+	s.Run()
+	per := s.RankStats()
+	// Ranks 1..N-1 are symmetric; rank 0 additionally scatters zran3,
+	// gathers the agglomerated level and broadcasts its solution.
+	if per[1].Messages != per[2].Messages || per[2].Messages != per[3].Messages {
+		t.Fatalf("non-root ranks asymmetric: %+v", per)
+	}
+	if per[0].Messages <= per[1].Messages {
+		t.Fatalf("root rank should send extra agglomeration traffic: %+v", per)
+	}
+	total := s.Stats()
+	if total.Messages == 0 || total.Bytes == 0 {
+		t.Fatal("no communication recorded")
+	}
+	// Surface scaling: each halo message carries one plane, ~(n+2)² values.
+	n := nas.ClassS.N
+	planeBytes := uint64((n+2)*(n+2)) * 8
+	if total.Bytes < planeBytes {
+		t.Fatalf("implausibly small traffic: %d bytes", total.Bytes)
+	}
+}
+
+// More ranks exchange more, smaller messages; the per-rank volume drops.
+func TestPerRankVolumeDropsWithRanks(t *testing.T) {
+	vol := map[int]uint64{}
+	for _, ranks := range []int{2, 8} {
+		s := New(nas.ClassS, ranks)
+		s.Run()
+		max := uint64(0)
+		for _, st := range s.RankStats()[1:] { // skip the root's extra traffic
+			if st.Bytes > max {
+				max = st.Bytes
+			}
+		}
+		vol[ranks] = max
+	}
+	if vol[8] >= vol[2] {
+		t.Fatalf("per-rank halo volume did not drop: 2 ranks %d bytes, 8 ranks %d bytes",
+			vol[2], vol[8])
+	}
+}
+
+func TestInvalidRanksPanics(t *testing.T) {
+	for _, ranks := range []int{0, 3, 5, nas.ClassS.N} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("ranks=%d did not panic", ranks)
+				}
+			}()
+			New(nas.ClassS, ranks)
+		}()
+	}
+}
+
+func BenchmarkClassS4Ranks(b *testing.B) {
+	s := New(nas.ClassS, 4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Run()
+	}
+}
+
+// True 3-D processor grids: every decomposition of the same world size
+// verifies officially and matches the serial norms far beyond tolerance.
+func Test3DDecompositionsVerify(t *testing.T) {
+	ref := f77.New(nas.ClassS)
+	want, wantU := ref.Run()
+	grids := [][3]int{
+		{2, 2, 1}, {1, 2, 2}, {2, 1, 2}, // 4 ranks, 2-D decompositions
+		{2, 2, 2},            // 8 ranks, full 3-D
+		{4, 2, 1}, {1, 4, 2}, // mixed extents
+		{4, 4, 4}, // 64 ranks
+	}
+	for _, g := range grids {
+		s := New3D(nas.ClassS, g[0], g[1], g[2])
+		got, gotU := s.Run()
+		if verified, ok := nas.ClassS.Verify(got); !ok || !verified {
+			t.Fatalf("grid %v: rnm2 = %.13e did not verify", g, got)
+		}
+		if rel := math.Abs(got-want) / want; rel > 1e-12 {
+			t.Fatalf("grid %v: rnm2 = %.15e vs serial %.15e (rel %.2e)", g, got, want, rel)
+		}
+		if gotU != wantU {
+			t.Fatalf("grid %v: rnmu = %.17e vs serial %.17e", g, gotU, wantU)
+		}
+	}
+}
+
+// Decomposing different axes of the same world size yields identical
+// interior arithmetic: the norms agree across orientations bitwise (the
+// kernels sweep the same global cells; only the reduction blocking could
+// differ, and for equal rank counts it does not).
+func Test3DOrientationConsistency(t *testing.T) {
+	a, aU := New3D(nas.ClassS, 4, 1, 1).Run()
+	b, bU := New3D(nas.ClassS, 1, 1, 4).Run()
+	if aU != bU {
+		t.Fatalf("rnmu differs across orientations: %.17e vs %.17e", aU, bU)
+	}
+	if rel := math.Abs(a-b) / a; rel > 1e-13 {
+		t.Fatalf("rnm2 differs across orientations: %.17e vs %.17e", a, b)
+	}
+}
+
+// 3-D decompositions communicate less volume than 1-D at the same rank
+// count (surface-to-volume: cubes beat slabs).
+func Test3DCommunicatesLessThan1D(t *testing.T) {
+	slab := New3D(nas.ClassS, 8, 1, 1)
+	slab.Run()
+	cube := New3D(nas.ClassS, 2, 2, 2)
+	cube.Run()
+	if cube.Stats().Bytes >= slab.Stats().Bytes {
+		t.Fatalf("3-D volume %d >= 1-D volume %d bytes", cube.Stats().Bytes, slab.Stats().Bytes)
+	}
+	t.Logf("8 ranks: slab %d bytes, cube %d bytes (%.0f%% saved)",
+		slab.Stats().Bytes, cube.Stats().Bytes,
+		100*(1-float64(cube.Stats().Bytes)/float64(slab.Stats().Bytes)))
+}
+
+func Test3DClassW(t *testing.T) {
+	if testing.Short() {
+		t.Skip("class W skipped in -short")
+	}
+	s := New3D(nas.ClassW, 2, 2, 2)
+	rnm2, _ := s.Run()
+	if verified, ok := nas.ClassW.Verify(rnm2); !ok || !verified {
+		want, _, _ := nas.ClassW.VerifyValue()
+		t.Fatalf("(2,2,2) class W rnm2 = %.13e, want %.13e", rnm2, want)
+	}
+}
+
+func TestNew3DValidation(t *testing.T) {
+	for _, g := range [][3]int{{3, 1, 1}, {0, 1, 1}, {1, 1, nas.ClassS.N}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("grid %v did not panic", g)
+				}
+			}()
+			New3D(nas.ClassS, g[0], g[1], g[2])
+		}()
+	}
+}

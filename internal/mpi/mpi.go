@@ -1,0 +1,274 @@
+// Package mpi is a deterministic message-passing runtime in the style of
+// MPI, built on goroutines and channels. It exists for the comparison the
+// paper's future-work section asks for: "a direct comparison with the
+// MPI-based parallel reference implementation of NAS-MG would be
+// interesting" (§7). internal/mgmpi implements a domain-decomposed MG on
+// top of it; this package provides the SPMD substrate:
+//
+//   - World.Run launches one goroutine per rank and joins them;
+//   - point-to-point Send/Recv with (source, tag) matching and per-pair
+//     FIFO ordering;
+//   - collective Barrier, AllReduce and Broadcast with deterministic
+//     (rank-ordered) reduction — results are identical across runs;
+//   - per-rank traffic statistics (message and byte counts), the basis of
+//     the communication-cost reporting in EXPERIMENTS.md.
+//
+// The runtime is a simulation: all ranks share one address space and the
+// "network" is Go channels, so it measures communication *structure*
+// (counts, volumes, dependency patterns), not network latency.
+package mpi
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Stats counts one rank's outgoing traffic.
+type Stats struct {
+	// Messages is the number of point-to-point sends (collectives are
+	// built from sends and are therefore included).
+	Messages uint64
+	// Bytes is the total payload volume sent, in bytes.
+	Bytes uint64
+}
+
+// World is one SPMD program instance: a fixed set of ranks and their
+// mailboxes.
+type World struct {
+	size    int
+	mail    [][]chan message // mail[src][dst]
+	stats   []Stats
+	barrier *barrier
+}
+
+type message struct {
+	tag  int
+	data []float64
+}
+
+// mailboxDepth bounds in-flight messages per (src, dst) pair. MG's halo
+// exchanges post at most two sends before the matching receives.
+const mailboxDepth = 8
+
+// NewWorld creates a world with the given number of ranks.
+func NewWorld(size int) *World {
+	if size < 1 {
+		panic(fmt.Sprintf("mpi: invalid world size %d", size))
+	}
+	w := &World{
+		size:    size,
+		mail:    make([][]chan message, size),
+		stats:   make([]Stats, size),
+		barrier: newBarrier(size),
+	}
+	for src := 0; src < size; src++ {
+		w.mail[src] = make([]chan message, size)
+		for dst := 0; dst < size; dst++ {
+			w.mail[src][dst] = make(chan message, mailboxDepth)
+		}
+	}
+	return w
+}
+
+// Size returns the number of ranks.
+func (w *World) Size() int { return w.size }
+
+// Stats returns a snapshot of every rank's traffic counters. Call after
+// Run has returned.
+func (w *World) Stats() []Stats { return append([]Stats(nil), w.stats...) }
+
+// TotalStats sums the per-rank counters.
+func (w *World) TotalStats() Stats {
+	var t Stats
+	for _, s := range w.stats {
+		t.Messages += s.Messages
+		t.Bytes += s.Bytes
+	}
+	return t
+}
+
+// Run executes body once per rank, concurrently, and waits for all ranks
+// to return. A panic on any rank is re-raised on the caller after the
+// remaining ranks have been given the chance to finish or deadlock-free
+// abort (their channels are buffered). Run may be called multiple times
+// on the same world; statistics accumulate.
+func (w *World) Run(body func(c *Comm)) {
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		panicked any
+	)
+	wg.Add(w.size)
+	for rank := 0; rank < w.size; rank++ {
+		go func(rank int) {
+			defer func() {
+				if r := recover(); r != nil {
+					mu.Lock()
+					if panicked == nil {
+						panicked = fmt.Sprintf("mpi: rank %d panicked: %v", rank, r)
+					}
+					mu.Unlock()
+					w.barrier.abort()
+				}
+				wg.Done()
+			}()
+			body(&Comm{w: w, rank: rank})
+		}(rank)
+	}
+	wg.Wait()
+	if panicked != nil {
+		panic(panicked)
+	}
+}
+
+// Comm is one rank's communicator.
+type Comm struct {
+	w    *World
+	rank int
+}
+
+// Rank returns this rank's id, 0 <= Rank < Size.
+func (c *Comm) Rank() int { return c.rank }
+
+// Size returns the world size.
+func (c *Comm) Size() int { return c.w.size }
+
+// Send transmits a copy of data to dst with the given tag. It blocks only
+// when the (src, dst) mailbox is full.
+func (c *Comm) Send(dst, tag int, data []float64) {
+	if dst < 0 || dst >= c.w.size {
+		panic(fmt.Sprintf("mpi: Send to invalid rank %d", dst))
+	}
+	buf := make([]float64, len(data))
+	copy(buf, data)
+	c.w.mail[c.rank][dst] <- message{tag: tag, data: buf}
+	c.w.stats[c.rank].Messages++
+	c.w.stats[c.rank].Bytes += uint64(len(data)) * 8
+}
+
+// Recv receives the next message from src, which must carry the expected
+// tag (messages between a pair of ranks are FIFO, so a tag mismatch is a
+// protocol error, not a reordering).
+func (c *Comm) Recv(src, tag int) []float64 {
+	if src < 0 || src >= c.w.size {
+		panic(fmt.Sprintf("mpi: Recv from invalid rank %d", src))
+	}
+	m := <-c.w.mail[src][c.rank]
+	if m.tag != tag {
+		panic(fmt.Sprintf("mpi: rank %d: expected tag %d from rank %d, got %d",
+			c.rank, tag, src, m.tag))
+	}
+	return m.data
+}
+
+// SendRecv exchanges buffers with two (possibly equal) partners: sends
+// sendData to dst and receives from src, in an order that cannot deadlock
+// for buffered mailboxes.
+func (c *Comm) SendRecv(dst, src, tag int, sendData []float64) []float64 {
+	c.Send(dst, tag, sendData)
+	return c.Recv(src, tag)
+}
+
+// Barrier blocks until every rank has reached it.
+func (c *Comm) Barrier() { c.w.barrier.await() }
+
+// AllReduce combines one value from every rank with op, applied in
+// ascending rank order (deterministic), and returns the result on every
+// rank. The reduction is implemented as gather-to-zero plus broadcast.
+func (c *Comm) AllReduce(tag int, x float64, op func(a, b float64) float64) float64 {
+	if c.w.size == 1 {
+		return x
+	}
+	if c.rank == 0 {
+		acc := x
+		for src := 1; src < c.w.size; src++ {
+			v := c.Recv(src, tag)
+			acc = op(acc, v[0])
+		}
+		for dst := 1; dst < c.w.size; dst++ {
+			c.Send(dst, tag, []float64{acc})
+		}
+		return acc
+	}
+	c.Send(0, tag, []float64{x})
+	return c.Recv(0, tag)[0]
+}
+
+// AllReduceSum is AllReduce with addition.
+func (c *Comm) AllReduceSum(tag int, x float64) float64 {
+	return c.AllReduce(tag, x, func(a, b float64) float64 { return a + b })
+}
+
+// AllReduceMax is AllReduce with max.
+func (c *Comm) AllReduceMax(tag int, x float64) float64 {
+	return c.AllReduce(tag, x, func(a, b float64) float64 {
+		if b > a {
+			return b
+		}
+		return a
+	})
+}
+
+// Broadcast distributes root's buffer to every rank and returns it (the
+// root returns its own buffer unchanged).
+func (c *Comm) Broadcast(tag, root int, data []float64) []float64 {
+	if c.w.size == 1 {
+		return data
+	}
+	if c.rank == root {
+		for dst := 0; dst < c.w.size; dst++ {
+			if dst != root {
+				c.Send(dst, tag, data)
+			}
+		}
+		return data
+	}
+	return c.Recv(root, tag)
+}
+
+// --- reusable barrier ---------------------------------------------------------
+
+type barrier struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	size    int
+	waiting int
+	gen     uint64
+	broken  bool
+}
+
+func newBarrier(size int) *barrier {
+	b := &barrier{size: size}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+func (b *barrier) await() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.broken {
+		panic("mpi: barrier used after a rank panicked")
+	}
+	gen := b.gen
+	b.waiting++
+	if b.waiting == b.size {
+		b.waiting = 0
+		b.gen++
+		b.cond.Broadcast()
+		return
+	}
+	for gen == b.gen && !b.broken {
+		b.cond.Wait()
+	}
+	if b.broken {
+		panic("mpi: barrier broken by a panicking rank")
+	}
+}
+
+// abort releases any ranks blocked in the barrier after a panic.
+func (b *barrier) abort() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.broken = true
+	b.cond.Broadcast()
+}

@@ -1,0 +1,27 @@
+package nasrand
+
+import "testing"
+
+// FuzzSkipEquivalence: Skip(n) must equal n sequential steps for fuzzed
+// seeds and counts, and PowMod must stay a homomorphism.
+func FuzzSkipEquivalence(f *testing.F) {
+	f.Add(uint64(314159265), uint16(100))
+	f.Add(uint64(1), uint16(1))
+	f.Fuzz(func(t *testing.T, seed uint64, nRaw uint16) {
+		n := uint64(nRaw % 512)
+		a := New(seed)
+		b := New(seed)
+		a.Skip(n)
+		for i := uint64(0); i < n; i++ {
+			b.Next()
+		}
+		if a.State() != b.State() {
+			t.Fatalf("Skip(%d) diverges for seed %d", n, seed)
+		}
+		lhs := PowMod(Mult, n+7)
+		rhs := (PowMod(Mult, n) * PowMod(Mult, 7)) & (1<<46 - 1)
+		if lhs != rhs {
+			t.Fatalf("PowMod homomorphism broken at n=%d", n)
+		}
+	})
+}

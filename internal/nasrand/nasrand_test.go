@@ -1,0 +1,159 @@
+package nasrand
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestFirstValuesMatchRecurrence(t *testing.T) {
+	r := Default()
+	x := DefaultSeed
+	for i := 0; i < 100; i++ {
+		x = (x * Mult) & (1<<46 - 1)
+		want := float64(x) / (1 << 46)
+		if got := r.Next(); got != want {
+			t.Fatalf("value %d = %v, want %v", i, got, want)
+		}
+	}
+}
+
+func TestValuesInOpenUnitInterval(t *testing.T) {
+	r := Default()
+	for i := 0; i < 10000; i++ {
+		v := r.Next()
+		if v <= 0 || v >= 1 {
+			t.Fatalf("value %d = %v outside (0,1)", i, v)
+		}
+	}
+}
+
+func TestMultIs5To13(t *testing.T) {
+	m := uint64(1)
+	for i := 0; i < 13; i++ {
+		m *= 5
+	}
+	if m != Mult {
+		t.Fatalf("Mult = %d, want 5^13 = %d", Mult, m)
+	}
+}
+
+func TestFillMatchesNext(t *testing.T) {
+	a := Default()
+	b := Default()
+	buf := make([]float64, 257)
+	a.Fill(buf)
+	for i, v := range buf {
+		if w := b.Next(); v != w {
+			t.Fatalf("Fill[%d] = %v, Next = %v", i, v, w)
+		}
+	}
+	if a.State() != b.State() {
+		t.Fatal("Fill and Next leave different states")
+	}
+}
+
+func TestSkipMatchesNext(t *testing.T) {
+	for _, n := range []uint64{0, 1, 2, 7, 100, 12345} {
+		a := Default()
+		b := Default()
+		a.Skip(n)
+		for i := uint64(0); i < n; i++ {
+			b.Next()
+		}
+		if a.State() != b.State() {
+			t.Fatalf("Skip(%d) state %d != Next^%d state %d", n, a.State(), n, b.State())
+		}
+	}
+}
+
+func TestPowModBasics(t *testing.T) {
+	if PowMod(Mult, 0) != 1 {
+		t.Error("a^0 != 1")
+	}
+	if PowMod(Mult, 1) != Mult {
+		t.Error("a^1 != a")
+	}
+	if got, want := PowMod(Mult, 2), (Mult*Mult)&(1<<46-1); got != want {
+		t.Errorf("a^2 = %d, want %d", got, want)
+	}
+}
+
+// Property: PowMod is a homomorphism — a^(m+n) == a^m · a^n mod 2^46.
+func TestPowModHomomorphismQuick(t *testing.T) {
+	f := func(m, n uint16) bool {
+		lhs := PowMod(Mult, uint64(m)+uint64(n))
+		rhs := (PowMod(Mult, uint64(m)) * PowMod(Mult, uint64(n))) & (1<<46 - 1)
+		return lhs == rhs
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: two streams that split at a power offset interleave exactly —
+// the structure zran3 relies on for per-row seeds.
+func TestStreamSplittingQuick(t *testing.T) {
+	f := func(rows uint8, rowLenRaw uint8) bool {
+		rowLen := uint64(rowLenRaw%32) + 1
+		aRow := PowMod(Mult, rowLen)
+		seq := Default()
+		split := Default()
+		for row := 0; row < int(rows%16)+1; row++ {
+			rowStart := New(split.State())
+			buf := make([]float64, rowLen)
+			rowStart.Fill(buf)
+			for _, v := range buf {
+				if v != seq.Next() {
+					return false
+				}
+			}
+			split.NextWith(aRow) // jump the split stream one row ahead
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSetStateMasks(t *testing.T) {
+	r := New(0)
+	r.SetState(1<<63 | 5)
+	if r.State() != 5 {
+		t.Fatalf("SetState did not mask: %d", r.State())
+	}
+	if s := New(1<<50 | 3).State(); s != (1<<50|3)&(1<<46-1) {
+		t.Fatalf("New did not mask: %d", s)
+	}
+}
+
+func TestMeanIsApproximatelyHalf(t *testing.T) {
+	r := Default()
+	const n = 1 << 16
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += r.Next()
+	}
+	mean := sum / n
+	if mean < 0.49 || mean > 0.51 {
+		t.Fatalf("mean of %d values = %v, want ≈0.5", n, mean)
+	}
+}
+
+func BenchmarkNext(b *testing.B) {
+	r := Default()
+	var s float64
+	for i := 0; i < b.N; i++ {
+		s += r.Next()
+	}
+	_ = s
+}
+
+func BenchmarkFill1K(b *testing.B) {
+	r := Default()
+	buf := make([]float64, 1024)
+	b.SetBytes(1024 * 8)
+	for i := 0; i < b.N; i++ {
+		r.Fill(buf)
+	}
+}

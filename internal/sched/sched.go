@@ -1,0 +1,323 @@
+// Package sched is the shared-memory parallel runtime underneath the
+// WITH-loop engine — the Go counterpart of SAC's implicit multithreading
+// backend (Grelck, IFL'98/PhD'01), which the paper uses to parallelize the
+// MG benchmark "without any additional programming effort".
+//
+// The runtime owns a pool of persistent worker goroutines and partitions
+// one-dimensional iteration spaces across them under one of four scheduling
+// policies (static block, static cyclic, dynamic self-scheduling, guided).
+// The calling goroutine always participates as worker 0, so a pool of W
+// workers uses W goroutines total, not W+1.
+//
+// Determinism contract: a For body only ever writes to positions derived
+// from its own sub-range, and Reduce combines per-block partial results in
+// block order. Consequently every computation in this repository produces
+// bit-identical results for any worker count and any policy — a property
+// the test suite checks and the MG cross-implementation verification relies
+// on.
+//
+// Sequential threshold: SAC's runtime executes WITH-loops over small index
+// spaces sequentially because fork/join overhead would dominate (the paper
+// discusses exactly this effect on the coarse V-cycle grids). For mirrors
+// that with ForOptions.SeqThreshold.
+package sched
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Policy selects how an iteration space is partitioned across workers.
+type Policy int
+
+const (
+	// StaticBlock gives each worker one contiguous block of roughly n/W
+	// iterations. Lowest overhead; the default, and what SAC's compiler
+	// generates for uniform WITH-loops.
+	StaticBlock Policy = iota
+	// StaticCyclic deals fixed-size chunks round-robin to the workers.
+	// Balances loops whose per-iteration cost varies periodically.
+	StaticCyclic
+	// Dynamic lets workers grab fixed-size chunks from a shared counter
+	// (self-scheduling). Balances irregular loops at the cost of one
+	// atomic operation per chunk.
+	Dynamic
+	// Guided is Dynamic with geometrically shrinking chunks, in the style
+	// of OpenMP schedule(guided).
+	Guided
+)
+
+// String returns the policy name.
+func (p Policy) String() string {
+	switch p {
+	case StaticBlock:
+		return "static-block"
+	case StaticCyclic:
+		return "static-cyclic"
+	case Dynamic:
+		return "dynamic"
+	case Guided:
+		return "guided"
+	default:
+		return fmt.Sprintf("Policy(%d)", int(p))
+	}
+}
+
+// ForOptions tunes one parallel loop execution.
+type ForOptions struct {
+	// Policy is the partitioning strategy. Zero value is StaticBlock.
+	Policy Policy
+	// Chunk is the chunk size for StaticCyclic and Dynamic and the minimum
+	// chunk for Guided. 0 means a policy-specific default.
+	Chunk int
+	// SeqThreshold executes the loop inline on the caller when the
+	// iteration count is at or below it. 0 means "always parallelize"
+	// (when the pool has more than one worker).
+	SeqThreshold int
+}
+
+// Pool is a set of persistent worker goroutines. A Pool with one worker
+// executes everything inline on the caller; that is the natural "compiled
+// for sequential execution" mode of the paper's Fig. 11.
+type Pool struct {
+	nw     int
+	work   chan func(worker int)
+	closed atomic.Bool
+	wg     sync.WaitGroup
+}
+
+// NewPool creates a pool with the given number of workers. workers <= 0
+// selects runtime.GOMAXPROCS(0). The pool must be Closed when no longer
+// needed unless it lives for the whole process.
+func NewPool(workers int) *Pool {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	p := &Pool{nw: workers}
+	if workers > 1 {
+		// Worker 0 is the calling goroutine; start workers 1..nw-1.
+		p.work = make(chan func(worker int))
+		for w := 1; w < workers; w++ {
+			p.wg.Add(1)
+			go p.worker(w)
+		}
+	}
+	return p
+}
+
+func (p *Pool) worker(id int) {
+	defer p.wg.Done()
+	for f := range p.work {
+		f(id)
+	}
+}
+
+// Workers returns the pool's worker count.
+func (p *Pool) Workers() int { return p.nw }
+
+// Close shuts the worker goroutines down. For on a closed pool runs
+// sequentially. Close is idempotent.
+func (p *Pool) Close() {
+	if p.closed.CompareAndSwap(false, true) && p.work != nil {
+		close(p.work)
+		p.wg.Wait()
+	}
+}
+
+// Sequential is a process-wide single-worker pool for callers that want the
+// sequential semantics without creating a pool.
+var Sequential = NewPool(1)
+
+// For executes body over the half-open range [0, n), partitioned across the
+// pool's workers according to opt. body(lo, hi, worker) processes the
+// sub-range [lo, hi) on the given worker (0 <= worker < Workers()).
+// For returns when the whole range has been processed. A panic in any body
+// invocation is re-raised on the caller after all workers have finished.
+func (p *Pool) For(n int, opt ForOptions, body func(lo, hi, worker int)) {
+	if n <= 0 {
+		return
+	}
+	if p.nw == 1 || p.closed.Load() || n <= opt.SeqThreshold {
+		body(0, n, 0)
+		return
+	}
+	switch opt.Policy {
+	case StaticBlock:
+		p.forStaticBlock(n, body)
+	case StaticCyclic:
+		p.forStaticCyclic(n, opt.chunkOr(defaultChunk(n, p.nw)), body)
+	case Dynamic:
+		p.forDynamic(n, opt.chunkOr(defaultChunk(n, p.nw)), body)
+	case Guided:
+		p.forGuided(n, opt.chunkOr(1), body)
+	default:
+		panic(fmt.Sprintf("sched: unknown policy %d", int(opt.Policy)))
+	}
+}
+
+func (o ForOptions) chunkOr(def int) int {
+	if o.Chunk > 0 {
+		return o.Chunk
+	}
+	return def
+}
+
+// defaultChunk aims at 4 chunks per worker, a common balance point between
+// scheduling overhead and load balance.
+func defaultChunk(n, nw int) int {
+	c := n / (nw * 4)
+	if c < 1 {
+		c = 1
+	}
+	return c
+}
+
+// runOnAll executes part(worker) on every worker, blocking until all have
+// returned and propagating the first panic.
+func (p *Pool) runOnAll(part func(worker int)) {
+	var (
+		wg       sync.WaitGroup
+		panicked atomic.Value
+	)
+	call := func(w int) {
+		defer func() {
+			if r := recover(); r != nil {
+				panicked.CompareAndSwap(nil, fmt.Sprintf("sched: worker %d panicked: %v", w, r))
+			}
+			wg.Done()
+		}()
+		part(w)
+	}
+	wg.Add(p.nw)
+	for w := 1; w < p.nw; w++ {
+		w := w
+		p.work <- func(int) { call(w) }
+	}
+	call(0) // caller participates as worker 0
+	wg.Wait()
+	if msg := panicked.Load(); msg != nil {
+		panic(msg)
+	}
+}
+
+func (p *Pool) forStaticBlock(n int, body func(lo, hi, worker int)) {
+	nw := p.nw
+	p.runOnAll(func(w int) {
+		lo := w * n / nw
+		hi := (w + 1) * n / nw
+		if lo < hi {
+			body(lo, hi, w)
+		}
+	})
+}
+
+func (p *Pool) forStaticCyclic(n, chunk int, body func(lo, hi, worker int)) {
+	nw := p.nw
+	p.runOnAll(func(w int) {
+		for lo := w * chunk; lo < n; lo += nw * chunk {
+			hi := min(lo+chunk, n)
+			body(lo, hi, w)
+		}
+	})
+}
+
+func (p *Pool) forDynamic(n, chunk int, body func(lo, hi, worker int)) {
+	var next atomic.Int64
+	p.runOnAll(func(w int) {
+		for {
+			lo := int(next.Add(int64(chunk))) - chunk
+			if lo >= n {
+				return
+			}
+			hi := min(lo+chunk, n)
+			body(lo, hi, w)
+		}
+	})
+}
+
+func (p *Pool) forGuided(n, minChunk int, body func(lo, hi, worker int)) {
+	var (
+		mu   sync.Mutex
+		next int
+	)
+	take := func() (lo, hi int, ok bool) {
+		mu.Lock()
+		defer mu.Unlock()
+		if next >= n {
+			return 0, 0, false
+		}
+		remaining := n - next
+		chunk := remaining / (2 * p.nw)
+		if chunk < minChunk {
+			chunk = minChunk
+		}
+		lo = next
+		hi = min(lo+chunk, n)
+		next = hi
+		return lo, hi, true
+	}
+	p.runOnAll(func(w int) {
+		for {
+			lo, hi, ok := take()
+			if !ok {
+				return
+			}
+			body(lo, hi, w)
+		}
+	})
+}
+
+// ReduceBlocks is the fixed block count Reduce decomposes every iteration
+// space into (fewer when n is smaller). It is a constant — independent of
+// the worker count — so that floating-point reductions combine in exactly
+// the same tree for every pool size.
+const ReduceBlocks = 64
+
+// Reduce computes a deterministic parallel reduction over [0, n).
+// partial(lo, hi) folds one sub-range starting from the neutral element;
+// combine merges two partial results. The range is always decomposed into
+// the same min(n, ReduceBlocks) blocks and the block partials are combined
+// in ascending order, so the result is bit-identical for every worker count
+// and scheduling policy — essential for floating-point reductions that feed
+// verification. (The block structure does mean the result can differ in the
+// last ulp from a flat left-to-right loop; callers comparing against such a
+// loop must compare with a tolerance.)
+func (p *Pool) Reduce(n int, opt ForOptions, neutral float64,
+	partial func(lo, hi int) float64, combine func(a, b float64) float64) float64 {
+	if n <= 0 {
+		return neutral
+	}
+	nblocks := ReduceBlocks
+	if nblocks > n {
+		nblocks = n
+	}
+	parts := make([]float64, nblocks)
+	fill := func(b int) {
+		lo := b * n / nblocks
+		hi := (b + 1) * n / nblocks
+		parts[b] = partial(lo, hi)
+	}
+	if p.nw == 1 || p.closed.Load() || n <= opt.SeqThreshold {
+		for b := 0; b < nblocks; b++ {
+			fill(b)
+		}
+	} else {
+		var next atomic.Int64
+		p.runOnAll(func(int) {
+			for {
+				b := int(next.Add(1)) - 1
+				if b >= nblocks {
+					return
+				}
+				fill(b)
+			}
+		})
+	}
+	acc := neutral
+	for _, v := range parts {
+		acc = combine(acc, v)
+	}
+	return acc
+}

