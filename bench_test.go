@@ -10,6 +10,7 @@
 package repro
 
 import (
+	"fmt"
 	"io"
 	"testing"
 
@@ -22,6 +23,7 @@ import (
 	"repro/internal/periodic"
 	"repro/internal/sched"
 	"repro/internal/smp"
+	"repro/internal/tune"
 	wl "repro/internal/withloop"
 )
 
@@ -42,6 +44,7 @@ func benchF77(b *testing.B, class nas.Class) {
 
 func benchSAC(b *testing.B, class nas.Class) {
 	env := wl.Default()
+	defer env.Close()
 	bench := core.NewBenchmark(class, env)
 	bench.Reset()
 	b.ResetTimer()
@@ -110,6 +113,7 @@ func BenchmarkSMP_Predict(b *testing.B) {
 
 func benchOptLevel(b *testing.B, opt wl.OptLevel) {
 	env := wl.Default()
+	defer env.Close()
 	env.Opt = opt
 	bench := core.NewBenchmark(nas.ClassS, env)
 	bench.Reset()
@@ -128,6 +132,7 @@ func BenchmarkAblation_OptO3_ClassS(b *testing.B) { benchOptLevel(b, wl.O3) }
 
 func benchMemPool(b *testing.B, enabled bool) {
 	env := wl.Default()
+	defer env.Close()
 	env.Pool = mempool.New(enabled)
 	bench := core.NewBenchmark(nas.ClassS, env)
 	bench.Reset()
@@ -166,6 +171,7 @@ func BenchmarkAblation_SchedGuided(b *testing.B)       { benchPolicy(b, sched.Gu
 
 func BenchmarkFutureWork_ExtendedBorders_ClassW(b *testing.B) {
 	env := wl.Default()
+	defer env.Close()
 	bench := core.NewBenchmark(nas.ClassW, env)
 	bench.Reset()
 	b.ResetTimer()
@@ -176,6 +182,7 @@ func BenchmarkFutureWork_ExtendedBorders_ClassW(b *testing.B) {
 
 func BenchmarkFutureWork_DirectPeriodic_ClassW(b *testing.B) {
 	env := wl.Default()
+	defer env.Close()
 	bench := periodic.NewBenchmark(nas.ClassW, env)
 	bench.Reset()
 	b.ResetTimer()
@@ -205,3 +212,82 @@ func benchSeqThreshold(b *testing.B, threshold int) {
 func BenchmarkAblation_SeqThreshold0(b *testing.B)    { benchSeqThreshold(b, 0) }
 func BenchmarkAblation_SeqThreshold4096(b *testing.B) { benchSeqThreshold(b, 4096) }
 func BenchmarkAblation_SeqThresholdHuge(b *testing.B) { benchSeqThreshold(b, 1<<30) }
+
+// --- tentpole benchmarks: tiled, norm-fused kernels + autotuned plans --------------
+
+// BenchmarkSACResidNorm compares the fused final-residual evaluation (the
+// norms accumulate inside the residual traversal — one grid read) against
+// the separate resid-then-norm two-pass reference, on a converged solution
+// grid. Both produce bit-identical norms.
+func BenchmarkSACResidNorm(b *testing.B) {
+	for _, class := range []nas.Class{nas.ClassS, nas.ClassW} {
+		env := wl.Default()
+		bench := core.NewBenchmark(class, env)
+		bench.Reset()
+		bench.Solve() // the grids the final residual is evaluated on
+		s := bench.Solver
+		b.Run(fmt.Sprintf("fused_class%c", class.Name), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				s.ResidNorm(bench.V(), bench.U(), class.N)
+			}
+		})
+		b.Run(fmt.Sprintf("separate_class%c", class.Name), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				s.ResidNormSeparate(bench.V(), bench.U(), class.N)
+			}
+		})
+		env.Close()
+	}
+}
+
+// BenchmarkSACTiled sweeps the j/k cache-tile edge of the fused kernels
+// over the whole benchmark (tile 0 = untiled full-plane traversal).
+func BenchmarkSACTiled(b *testing.B) {
+	for _, class := range []nas.Class{nas.ClassS, nas.ClassW} {
+		for _, tile := range []int{0, 8, 16, 32} {
+			b.Run(fmt.Sprintf("tile%d_class%c", tile, class.Name), func(b *testing.B) {
+				env := wl.Default()
+				defer env.Close()
+				env.Tile = tile
+				bench := core.NewBenchmark(class, env)
+				bench.Reset()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					bench.Solve()
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkSACTuned compares the static default schedule against a
+// calibrated per-(kernel, level) plan. Calibration runs before the timer.
+func BenchmarkSACTuned(b *testing.B) {
+	for _, class := range []nas.Class{nas.ClassS, nas.ClassW} {
+		b.Run(fmt.Sprintf("default_class%c", class.Name), func(b *testing.B) {
+			env := wl.Default()
+			defer env.Close()
+			bench := core.NewBenchmark(class, env)
+			bench.Reset()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				bench.Solve()
+			}
+		})
+		b.Run(fmt.Sprintf("tuned_class%c", class.Name), func(b *testing.B) {
+			env := wl.Default()
+			defer env.Close()
+			env.Tune = tune.New(env.Workers())
+			bench := core.NewBenchmark(class, env)
+			bench.Reset()
+			bench.Solve() // first calibration pass touches every key
+			for !env.Tune.Settled() {
+				bench.Solve()
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				bench.Solve()
+			}
+		})
+	}
+}

@@ -10,26 +10,45 @@
 // Figures 12/13 use the SMP cost-model simulator (internal/smp) driven by
 // real measured kernel profiles — see DESIGN.md §4 for why the paper's
 // 12-processor SUN Enterprise 4000 is simulated rather than re-run.
+//
+// Beyond the paper's figures, -fig tune calibrates the per-(kernel, level)
+// schedule autotuner (internal/tune) and prints the chosen plans:
+//
+//	mgbench -fig tune -classes S -tuneplan plan.json   # calibrate and save
+//	mgbench -fig 11 -tuneplan plan.json                # run under the plan
+//
+// -cpuprofile/-memprofile wrap the selected figure's measurements with the
+// standard runtime/pprof collectors for kernel-level inspection.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"reflect"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"repro/internal/harness"
 	"repro/internal/nas"
 	"repro/internal/smp"
+	"repro/internal/tune"
+	wl "repro/internal/withloop"
 )
 
 func main() {
 	var (
-		fig     = flag.String("fig", "all", "figure to regenerate: 11, 12, 13, mpi, codesize or all")
-		classes = flag.String("classes", "S,W", "comma-separated size classes (paper: W,A)")
-		repeats = flag.Int("repeats", 3, "repetitions per Fig. 11 measurement (best reported)")
-		procs   = flag.Int("procs", 10, "simulated processor count for Figs. 12/13")
-		repo    = flag.String("repo", ".", "repository root (for -fig codesize)")
+		fig        = flag.String("fig", "all", "figure to regenerate: 11, 12, 13, mpi, codesize, tune or all")
+		classes    = flag.String("classes", "S,W", "comma-separated size classes (paper: W,A)")
+		repeats    = flag.Int("repeats", 3, "repetitions per Fig. 11 measurement (best reported)")
+		procs      = flag.Int("procs", 10, "simulated processor count for Figs. 12/13")
+		repo       = flag.String("repo", ".", "repository root (for -fig codesize)")
+		workers    = flag.Int("workers", 0, "worker count for -fig tune calibration (0 = GOMAXPROCS)")
+		maxSolves  = flag.Int("maxsolves", 50, "calibration solve budget per class for -fig tune")
+		tunePlan   = flag.String("tuneplan", "", "autotuner plan file: -fig tune writes it, other figures run the SAC implementation under it")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the measurements to this file")
+		memProfile = flag.String("memprofile", "", "write a heap profile taken after the measurements to this file")
 	)
 	flag.Parse()
 
@@ -44,8 +63,53 @@ func main() {
 	}
 	machine := smp.Enterprise4000()
 	machine.MaxProcs = *procs
-
 	out := os.Stdout
+
+	if *tunePlan != "" && *fig != "tune" {
+		// Run the SAC implementation under a previously calibrated plan.
+		tu := tune.New(1)
+		if err := tu.LoadFile(*tunePlan); err != nil {
+			fmt.Fprintln(os.Stderr, "mgbench:", err)
+			os.Exit(1)
+		}
+		harness.SACEnv = func() *wl.Env {
+			e := wl.Default()
+			e.Tune = tu
+			return e
+		}
+		fmt.Fprintf(out, "SAC environment: autotuned plan %s\n\n", *tunePlan)
+	}
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mgbench:", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "mgbench:", err)
+			os.Exit(1)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "mgbench:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle allocations so the heap profile is the live set
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "mgbench:", err)
+			}
+		}()
+	}
+
 	switch *fig {
 	case "11":
 		harness.RunFig11(out, classList, *repeats)
@@ -67,6 +131,11 @@ func main() {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
+	case "tune":
+		if err := runTune(out, classList, *workers, *maxSolves, *tunePlan); err != nil {
+			fmt.Fprintln(os.Stderr, "mgbench:", err)
+			os.Exit(1)
+		}
 	case "all":
 		harness.RunFig11(out, classList, *repeats)
 		series := harness.RunFig12(out, classList, machine)
@@ -81,4 +150,29 @@ func main() {
 		fmt.Fprintln(os.Stderr, "mgbench: unknown -fig", *fig)
 		os.Exit(2)
 	}
+}
+
+// runTune calibrates one tuner per class and, when planPath is set, saves
+// the last calibration and verifies the JSON profile round-trips.
+func runTune(out *os.File, classList []nas.Class, workers, maxSolves int, planPath string) error {
+	var tu *tune.Tuner
+	for _, class := range classList {
+		tu = harness.RunTune(out, class, workers, maxSolves)
+	}
+	if planPath == "" || tu == nil {
+		return nil
+	}
+	if err := tu.SaveFile(planPath); err != nil {
+		return err
+	}
+	back := tune.New(tu.Workers())
+	if err := back.LoadFile(planPath); err != nil {
+		return err
+	}
+	if !reflect.DeepEqual(back.Plans(), tu.Plans()) {
+		return fmt.Errorf("plan %s did not round-trip through JSON", planPath)
+	}
+	fmt.Fprintf(out, "Plan saved to %s (%d entries, JSON round-trip verified)\n",
+		planPath, len(tu.Plans()))
+	return nil
 }

@@ -100,12 +100,7 @@ func (s *Solver) probe(region string, a *array.Array, f func() *array.Array) *ar
 
 // levelOf computes log2(interior extent) of an extended grid.
 func levelOf(a *array.Array) int {
-	n := a.Shape()[0] - 2
-	l := 0
-	for ; n > 1; n >>= 1 {
-		l++
-	}
-	return l
+	return levelOfExtent(a.Shape()[0] - 2)
 }
 
 // MGrid is the paper's Fig. 4 top-level function:
@@ -459,10 +454,7 @@ func (b *Benchmark) Solve() (rnm2, rnmu float64) {
 		e.Release(b.u)
 	}
 	b.u = b.Solver.MGrid(b.v, b.Class.Iter)
-	r := b.Solver.residSubtract(b.v, b.u)
-	rnm2, rnmu = nas.Norm2u3(r, b.Class.N)
-	e.Release(r)
-	return rnm2, rnmu
+	return b.Solver.ResidNorm(b.v, b.u, b.Class.N)
 }
 
 // U returns the solution grid of the last Run (nil before the first Run).

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"fmt"
 	"math"
 	"testing"
 	"time"
@@ -9,8 +10,10 @@ import (
 	"repro/internal/array"
 	"repro/internal/f77"
 	"repro/internal/nas"
+	"repro/internal/sched"
 	"repro/internal/shape"
 	"repro/internal/stencil"
+	"repro/internal/tune"
 	wl "repro/internal/withloop"
 )
 
@@ -391,4 +394,56 @@ func TestReleaseDisciplineParanoid(t *testing.T) {
 	if live2 > live1 {
 		t.Fatalf("live buffers grew between runs: %d -> %d (leak)", live1, live2)
 	}
+}
+
+// The tiled, norm-fused kernels must reproduce the sequential default O3
+// path bit for bit — the verification norms and the full solution grid —
+// for every worker count, scheduling policy and tile size, including tile
+// edges that do not divide the grid. This is the determinism contract that
+// lets the autotuner experiment with plans mid-run.
+func TestTiledKernelsBitIdentical(t *testing.T) {
+	refB := NewBenchmark(nas.ClassS, wl.Default())
+	refN2, refNU := refB.Run()
+	refU := refB.U().Clone()
+
+	check := func(t *testing.T, env *wl.Env) {
+		defer env.Close()
+		b := NewBenchmark(nas.ClassS, env)
+		rnm2, rnmu := b.Run()
+		if rnm2 != refN2 || rnmu != refNU {
+			t.Fatalf("norms (%.17e, %.17e) != reference (%.17e, %.17e)",
+				rnm2, rnmu, refN2, refNU)
+		}
+		if !b.U().Equal(refU) {
+			t.Fatalf("solution grid differs from reference (max diff %g)",
+				b.U().MaxAbsDiff(refU))
+		}
+	}
+
+	for _, workers := range []int{1, 2, 4, 8} {
+		policies := sched.Policies()
+		if workers == 1 {
+			policies = policies[:1] // policy is irrelevant on one worker
+		}
+		for _, policy := range policies {
+			for _, tile := range []int{0, 5, 8, 32} {
+				env := wl.Parallel(workers)
+				env.ForOpt.Policy = policy
+				env.Tile = tile
+				t.Run(fmt.Sprintf("w%d_%s_tile%d", workers, policy, tile), func(t *testing.T) {
+					check(t, env)
+				})
+			}
+		}
+	}
+
+	// A calibrating tuner cycles through its whole candidate set mid-run
+	// (different plan almost every kernel invocation) and must still not
+	// change a bit.
+	t.Run("tuner_calibrating", func(t *testing.T) {
+		env := wl.Parallel(4)
+		env.Tune = tune.New(env.Workers())
+		env.Tune.Trials = 1
+		check(t, env)
+	})
 }

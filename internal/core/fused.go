@@ -9,6 +9,9 @@
 //	                               surviving even points — 1/8 of the work)
 //	Relax(take(scatter(rn)), Q)  → interpolate (exploits the zeros of the
 //	                               scattered grid: 1–8 reads per element)
+//	norm2u3(v - Resid(u))        → subRelaxNorm (the final-residual norms
+//	                               accumulate in the residual pass — the
+//	                               grid is read once instead of twice)
 //
 // Each folded kernel reproduces the unfolded composition bit-for-bit
 // (modulo the sign of zero): neighbour sums accumulate in the same
@@ -16,28 +19,100 @@
 // exact zeros — which is all the folded forms eliminate — cannot change an
 // IEEE-754 sum. The package test TestOptLevelsBitIdentical holds the O3
 // pipeline to that contract.
+//
+// # Tiled traversal and per-level plans
+//
+// Every kernel traverses its interior planes under an execution plan
+// resolved per (kernel, level) through Env.PlanFor: scheduling policy,
+// chunk, sequential threshold and a j/k cache-tile edge (internal/tune;
+// Env.Tile forces a tile without a tuner). Within a plane the j/k loops
+// are blocked into tile×tile strips and the nine stencil row bases roll
+// forward by one row stride per j step instead of being recomputed with
+// per-row multiplies. Tiling only permutes writes of independent output
+// elements, so any tile size is bit-identical to the untiled traversal;
+// the norm accumulation of subRelaxNorm keeps per-row running partials
+// (always left-to-right in k) folded in ascending row and plane order, so
+// it too is invariant under tile size, worker count and policy
+// (TestTiledKernelsBitIdentical).
 package core
 
 import (
+	"math"
+
 	"repro/internal/array"
+	"repro/internal/nas"
 	"repro/internal/shape"
 	"repro/internal/stencil"
 	wl "repro/internal/withloop"
 )
+
+// ResidNorm evaluates the NPB verification norms of the final residual,
+// ‖v − A·u‖: rnm2 (the scaled L2 norm) and rnmu (the max norm). At O3 on
+// rank-3 grids the norm accumulation folds into the residual traversal
+// (subRelaxNorm — the residual grid is written and normed in one pass
+// instead of being re-read); otherwise the residual is materialised and
+// normed separately. Both paths fold the sum of squares in the canonical
+// plane/row order of nas.Norm2u3Planes, so the norms are bit-identical
+// across optimization levels, worker counts, policies and tile sizes.
+func (s *Solver) ResidNorm(v, u *array.Array, n int) (rnm2, rnmu float64) {
+	e := s.Env
+	if s.foldable(u) {
+		var sumSq, maxAbs float64
+		r := s.probe("resid", u, func() *array.Array {
+			ub := s.SetupPeriodicBorder(u)
+			out, sq, mx := subRelaxNorm(e, v, ub, s.Operator)
+			s.releaseIfCopy(ub, u)
+			sumSq, maxAbs = sq, mx
+			return out
+		})
+		e.Release(r)
+		total := float64(n) * float64(n) * float64(n)
+		return math.Sqrt(sumSq / total), maxAbs
+	}
+	return s.ResidNormSeparate(v, u, n)
+}
+
+// ResidNormSeparate is the unfused reference for ResidNorm: a residual
+// pass followed by a second pass over the stored grid for the norms.
+// Exported for the fused-vs-separate ablation benchmarks; Solve uses
+// ResidNorm.
+func (s *Solver) ResidNormSeparate(v, u *array.Array, n int) (rnm2, rnmu float64) {
+	r := s.residSubtract(v, u)
+	rnm2, rnmu = nas.Norm2u3Planes(r, n)
+	s.Env.Release(r)
+	return rnm2, rnmu
+}
 
 // foldable reports whether the folded rank-3 kernels apply.
 func (s *Solver) foldable(a *array.Array) bool {
 	return s.Env.Opt >= wl.O3 && a.Dim() == 3
 }
 
-// forPlanes partitions the interior planes [1, n0-1) of a rank-3 grid
-// across the environment's workers.
-func forPlanes(e *wl.Env, n0, perPlane int, body func(lo, hi int)) {
-	opts := e.ForOpt
-	if perPlane > 0 {
-		opts.SeqThreshold = max(opts.SeqThreshold, e.SeqThreshold) / perPlane
+// levelOfExtent computes log2 of an interior extent — the MG level tag.
+func levelOfExtent(n int) int {
+	l := 0
+	for ; n > 1; n >>= 1 {
+		l++
 	}
-	e.Sched.For(n0-2, opts, func(lo, hi, _ int) { body(lo+1, hi+1) })
+	return l
+}
+
+// forPlanes partitions the interior planes [1, n0-1) of a rank-3 grid
+// across the environment's workers under the (kernel, level) plan, passing
+// the plan's tile edge to the body.
+func forPlanes(e *wl.Env, kernel string, n0, perPlane int, body func(lo, hi, tile int)) {
+	opts, tile, commit := e.PlanFor(kernel, levelOfExtent(n0-2), perPlane)
+	e.Sched.For(n0-2, opts, func(lo, hi, _ int) { body(lo+1, hi+1, tile) })
+	commit()
+}
+
+// tileOr returns the effective tile edge: tile when positive, otherwise
+// the whole extent (untiled).
+func tileOr(tile, n int) int {
+	if tile > 0 {
+		return tile
+	}
+	return n
 }
 
 // subRelax computes out = v − Relax(u, c): the folded form of
@@ -49,32 +124,39 @@ func subRelax(e *wl.Env, v, u *array.Array, c stencil.Coeffs) *array.Array {
 	out := e.NewArrayDirty(shp)
 	od, vd, ud := out.Data(), v.Data(), u.Data()
 	copyBorders(od, vd, n0, n1, n2)
-	c0, c1, c2, c3 := c[0], c[1], c[2], c[3]
-	forPlanes(e, n0, (n1-2)*(n2-2), func(lo, hi int) {
+	forPlanes(e, "subRelax", n0, (n1-2)*(n2-2), func(lo, hi, tile int) {
 		for i := lo; i < hi; i++ {
-			for j := 1; j < n1-1; j++ {
-				mm := ((i-1)*n1 + (j - 1)) * n2
-				mz := ((i-1)*n1 + j) * n2
-				mp := ((i-1)*n1 + (j + 1)) * n2
-				zm := (i*n1 + (j - 1)) * n2
-				zz := (i*n1 + j) * n2
-				zp := (i*n1 + (j + 1)) * n2
-				pm := ((i+1)*n1 + (j - 1)) * n2
-				pz := ((i+1)*n1 + j) * n2
-				pp := ((i+1)*n1 + (j + 1)) * n2
-				uMM, uMZ, uMP := ud[mm:mm+n2], ud[mz:mz+n2], ud[mp:mp+n2]
-				uZM, uZZ, uZP := ud[zm:zm+n2], ud[zz:zz+n2], ud[zp:zp+n2]
-				uPM, uPZ, uPP := ud[pm:pm+n2], ud[pz:pz+n2], ud[pp:pp+n2]
+			subRelaxPlane(od, vd, ud, n1, n2, i, tile, c)
+		}
+	})
+	return out
+}
+
+// subRelaxPlane relaxes interior plane i of subRelax, j/k-tiled. The three
+// centre-row bases (planes i−1, i, i+1 at row j) roll forward one row
+// stride per j step; the j±1 neighbour rows are one stride either side.
+func subRelaxPlane(od, vd, ud []float64, n1, n2, i, tile int, c stencil.Coeffs) {
+	c0, c1, c2, c3 := c[0], c[1], c[2], c[3]
+	tj, tk := tileOr(tile, n1-2), tileOr(tile, n2-2)
+	for jt := 1; jt < n1-1; jt += tj {
+		jEnd := min(jt+tj, n1-1)
+		for kt := 1; kt < n2-1; kt += tk {
+			kEnd := min(kt+tk, n2-1)
+			mz := ((i-1)*n1 + jt) * n2
+			zz := (i*n1 + jt) * n2
+			pz := ((i+1)*n1 + jt) * n2
+			for j := jt; j < jEnd; j, mz, zz, pz = j+1, mz+n2, zz+n2, pz+n2 {
+				uMM, uMZ, uMP := ud[mz-n2:mz], ud[mz:mz+n2], ud[mz+n2:mz+2*n2]
+				uZM, uZZ, uZP := ud[zz-n2:zz], ud[zz:zz+n2], ud[zz+n2:zz+2*n2]
+				uPM, uPZ, uPP := ud[pz-n2:pz], ud[pz:pz+n2], ud[pz+n2:pz+2*n2]
 				oZZ, vZZ := od[zz:zz+n2], vd[zz:zz+n2]
-				oZZ[0] = vZZ[0]
-				oZZ[n2-1] = vZZ[n2-1]
 				if c1 == 0 {
 					// Constant folding of the zero face coefficient (the
 					// A stencil): c1·s1 is an exact zero, so c0·x + c1·s1
 					// equals c0·x and the six face additions disappear —
 					// the specialization sac2c derives from the constant
 					// coefficient vector.
-					for k := 1; k < n2-1; k++ {
+					for k := kt; k < kEnd; k++ {
 						s2 := uMM[k] + uMZ[k-1] + uMZ[k+1] + uMP[k] +
 							uZM[k-1] + uZM[k+1] + uZP[k-1] + uZP[k+1] +
 							uPM[k] + uPZ[k-1] + uPZ[k+1] + uPP[k]
@@ -84,7 +166,7 @@ func subRelax(e *wl.Env, v, u *array.Array, c stencil.Coeffs) *array.Array {
 					}
 					continue
 				}
-				for k := 1; k < n2-1; k++ {
+				for k := kt; k < kEnd; k++ {
 					s1 := uMZ[k] + uZM[k] + uZZ[k-1] + uZZ[k+1] + uZP[k] + uPZ[k]
 					s2 := uMM[k] + uMZ[k-1] + uMZ[k+1] + uMP[k] +
 						uZM[k-1] + uZM[k+1] + uZP[k-1] + uZP[k+1] +
@@ -95,8 +177,101 @@ func subRelax(e *wl.Env, v, u *array.Array, c stencil.Coeffs) *array.Array {
 				}
 			}
 		}
+	}
+}
+
+// subRelaxNorm computes out = v − Relax(u, c) and, in the same traversal,
+// the NPB norm partials of out's interior: the sum of squares folded in
+// the canonical row→plane order of nas.Norm2u3Planes, and the maximum
+// absolute value. One grid read replaces the resid-then-norm two-pass
+// sequence. Per-row partials accumulate strictly left-to-right in k (the
+// k tiles of a row extend the same running accumulator), rows fold in
+// ascending j and planes in ascending i, so the sums are bit-identical
+// for every tile size, worker count and scheduling policy.
+func subRelaxNorm(e *wl.Env, v, u *array.Array, c stencil.Coeffs) (out *array.Array, sumSq, maxAbs float64) {
+	shp := u.Shape()
+	n0, n1, n2 := shp[0], shp[1], shp[2]
+	out = e.NewArrayDirty(shp)
+	od, vd, ud := out.Data(), v.Data(), u.Data()
+	copyBorders(od, vd, n0, n1, n2)
+	sums := make([]float64, n0)
+	maxs := make([]float64, n0)
+	forPlanes(e, "subRelax", n0, (n1-2)*(n2-2), func(lo, hi, tile int) {
+		rowSum := make([]float64, tileOr(tile, n1-2))
+		for i := lo; i < hi; i++ {
+			sums[i], maxs[i] = subRelaxNormPlane(od, vd, ud, n1, n2, i, tile, c, rowSum)
+		}
 	})
-	return out
+	for i := 1; i < n0-1; i++ {
+		sumSq += sums[i]
+		if maxs[i] > maxAbs {
+			maxAbs = maxs[i]
+		}
+	}
+	return out, sumSq, maxAbs
+}
+
+// subRelaxNormPlane is subRelaxPlane plus the norm partials of plane i.
+// rowSum is worker-local scratch holding one j-strip of running row sums.
+func subRelaxNormPlane(od, vd, ud []float64, n1, n2, i, tile int, c stencil.Coeffs,
+	rowSum []float64) (sum, maxAbs float64) {
+	c0, c1, c2, c3 := c[0], c[1], c[2], c[3]
+	tj, tk := tileOr(tile, n1-2), tileOr(tile, n2-2)
+	for jt := 1; jt < n1-1; jt += tj {
+		jEnd := min(jt+tj, n1-1)
+		rs := rowSum[:jEnd-jt]
+		for x := range rs {
+			rs[x] = 0
+		}
+		for kt := 1; kt < n2-1; kt += tk {
+			kEnd := min(kt+tk, n2-1)
+			mz := ((i-1)*n1 + jt) * n2
+			zz := (i*n1 + jt) * n2
+			pz := ((i+1)*n1 + jt) * n2
+			for j := jt; j < jEnd; j, mz, zz, pz = j+1, mz+n2, zz+n2, pz+n2 {
+				uMM, uMZ, uMP := ud[mz-n2:mz], ud[mz:mz+n2], ud[mz+n2:mz+2*n2]
+				uZM, uZZ, uZP := ud[zz-n2:zz], ud[zz:zz+n2], ud[zz+n2:zz+2*n2]
+				uPM, uPZ, uPP := ud[pz-n2:pz], ud[pz:pz+n2], ud[pz+n2:pz+2*n2]
+				oZZ, vZZ := od[zz:zz+n2], vd[zz:zz+n2]
+				acc := rs[j-jt]
+				if c1 == 0 {
+					for k := kt; k < kEnd; k++ {
+						s2 := uMM[k] + uMZ[k-1] + uMZ[k+1] + uMP[k] +
+							uZM[k-1] + uZM[k+1] + uZP[k-1] + uZP[k+1] +
+							uPM[k] + uPZ[k-1] + uPZ[k+1] + uPP[k]
+						s3 := uMM[k-1] + uMM[k+1] + uMP[k-1] + uMP[k+1] +
+							uPM[k-1] + uPM[k+1] + uPP[k-1] + uPP[k+1]
+						r := vZZ[k] - ((c0*uZZ[k] + c2*s2) + c3*s3)
+						oZZ[k] = r
+						acc += r * r
+						if a := math.Abs(r); a > maxAbs {
+							maxAbs = a
+						}
+					}
+				} else {
+					for k := kt; k < kEnd; k++ {
+						s1 := uMZ[k] + uZM[k] + uZZ[k-1] + uZZ[k+1] + uZP[k] + uPZ[k]
+						s2 := uMM[k] + uMZ[k-1] + uMZ[k+1] + uMP[k] +
+							uZM[k-1] + uZM[k+1] + uZP[k-1] + uZP[k+1] +
+							uPM[k] + uPZ[k-1] + uPZ[k+1] + uPP[k]
+						s3 := uMM[k-1] + uMM[k+1] + uMP[k-1] + uMP[k+1] +
+							uPM[k-1] + uPM[k+1] + uPP[k-1] + uPP[k+1]
+						r := vZZ[k] - (((c0*uZZ[k] + c1*s1) + c2*s2) + c3*s3)
+						oZZ[k] = r
+						acc += r * r
+						if a := math.Abs(r); a > maxAbs {
+							maxAbs = a
+						}
+					}
+				}
+				rs[j-jt] = acc
+			}
+		}
+		for _, v := range rs {
+			sum += v
+		}
+	}
+	return sum, maxAbs
 }
 
 // addRelax computes out = z + Relax(r, c): the folded form of
@@ -107,48 +282,9 @@ func addRelax(e *wl.Env, z, r *array.Array, c stencil.Coeffs) *array.Array {
 	out := e.NewArrayDirty(shp)
 	od, zd, rd := out.Data(), z.Data(), r.Data()
 	copyBorders(od, zd, n0, n1, n2)
-	c0, c1, c2, c3 := c[0], c[1], c[2], c[3]
-	forPlanes(e, n0, (n1-2)*(n2-2), func(lo, hi int) {
+	forPlanes(e, "addRelax", n0, (n1-2)*(n2-2), func(lo, hi, tile int) {
 		for i := lo; i < hi; i++ {
-			for j := 1; j < n1-1; j++ {
-				mm := ((i-1)*n1 + (j - 1)) * n2
-				mz := ((i-1)*n1 + j) * n2
-				mp := ((i-1)*n1 + (j + 1)) * n2
-				zm := (i*n1 + (j - 1)) * n2
-				zz := (i*n1 + j) * n2
-				zp := (i*n1 + (j + 1)) * n2
-				pm := ((i+1)*n1 + (j - 1)) * n2
-				pz := ((i+1)*n1 + j) * n2
-				pp := ((i+1)*n1 + (j + 1)) * n2
-				rMM, rMZ, rMP := rd[mm:mm+n2], rd[mz:mz+n2], rd[mp:mp+n2]
-				rZM, rZZ, rZP := rd[zm:zm+n2], rd[zz:zz+n2], rd[zp:zp+n2]
-				rPM, rPZ, rPP := rd[pm:pm+n2], rd[pz:pz+n2], rd[pp:pp+n2]
-				oZZ, zZZ := od[zz:zz+n2], zd[zz:zz+n2]
-				oZZ[0] = zZZ[0]
-				oZZ[n2-1] = zZZ[n2-1]
-				if c3 == 0 {
-					// Constant folding of the zero corner coefficient
-					// (the S stencils): the eight corner additions
-					// disappear; c3·s3 was an exact zero.
-					for k := 1; k < n2-1; k++ {
-						s1 := rMZ[k] + rZM[k] + rZZ[k-1] + rZZ[k+1] + rZP[k] + rPZ[k]
-						s2 := rMM[k] + rMZ[k-1] + rMZ[k+1] + rMP[k] +
-							rZM[k-1] + rZM[k+1] + rZP[k-1] + rZP[k+1] +
-							rPM[k] + rPZ[k-1] + rPZ[k+1] + rPP[k]
-						oZZ[k] = zZZ[k] + ((c0*rZZ[k] + c1*s1) + c2*s2)
-					}
-					continue
-				}
-				for k := 1; k < n2-1; k++ {
-					s1 := rMZ[k] + rZM[k] + rZZ[k-1] + rZZ[k+1] + rZP[k] + rPZ[k]
-					s2 := rMM[k] + rMZ[k-1] + rMZ[k+1] + rMP[k] +
-						rZM[k-1] + rZM[k+1] + rZP[k-1] + rZP[k+1] +
-						rPM[k] + rPZ[k-1] + rPZ[k+1] + rPP[k]
-					s3 := rMM[k-1] + rMM[k+1] + rMP[k-1] + rMP[k+1] +
-						rPM[k-1] + rPM[k+1] + rPP[k-1] + rPP[k+1]
-					oZZ[k] = zZZ[k] + (((c0*rZZ[k] + c1*s1) + c2*s2) + c3*s3)
-				}
-			}
+			addRelaxPlane(od, zd, nil, rd, n1, n2, i, tile, c)
 		}
 	})
 	return out
@@ -164,48 +300,78 @@ func addRelaxPlus(e *wl.Env, u, z, r *array.Array, c stencil.Coeffs) *array.Arra
 	out := e.NewArrayDirty(shp)
 	od, udat, zd, rd := out.Data(), u.Data(), z.Data(), r.Data()
 	addBorders(od, udat, zd, n0, n1, n2)
-	c0, c1, c2, c3 := c[0], c[1], c[2], c[3]
-	forPlanes(e, n0, (n1-2)*(n2-2), func(lo, hi int) {
+	forPlanes(e, "addRelax", n0, (n1-2)*(n2-2), func(lo, hi, tile int) {
 		for i := lo; i < hi; i++ {
-			for j := 1; j < n1-1; j++ {
-				mm := ((i-1)*n1 + (j - 1)) * n2
-				mz := ((i-1)*n1 + j) * n2
-				mp := ((i-1)*n1 + (j + 1)) * n2
-				zm := (i*n1 + (j - 1)) * n2
-				zz := (i*n1 + j) * n2
-				zp := (i*n1 + (j + 1)) * n2
-				pm := ((i+1)*n1 + (j - 1)) * n2
-				pz := ((i+1)*n1 + j) * n2
-				pp := ((i+1)*n1 + (j + 1)) * n2
-				rMM, rMZ, rMP := rd[mm:mm+n2], rd[mz:mz+n2], rd[mp:mp+n2]
-				rZM, rZZ, rZP := rd[zm:zm+n2], rd[zz:zz+n2], rd[zp:zp+n2]
-				rPM, rPZ, rPP := rd[pm:pm+n2], rd[pz:pz+n2], rd[pp:pp+n2]
-				oZZ, uZZ, zZZ := od[zz:zz+n2], udat[zz:zz+n2], zd[zz:zz+n2]
-				oZZ[0] = uZZ[0] + zZZ[0]
-				oZZ[n2-1] = uZZ[n2-1] + zZZ[n2-1]
-				if c3 == 0 {
-					for k := 1; k < n2-1; k++ {
+			addRelaxPlane(od, zd, udat, rd, n1, n2, i, tile, c)
+		}
+	})
+	return out
+}
+
+// addRelaxPlane relaxes interior plane i for addRelax (ud == nil,
+// out = z + S·r) and addRelaxPlus (ud != nil, out = u + (z + S·r)),
+// j/k-tiled with rolling row bases like subRelaxPlane.
+func addRelaxPlane(od, zd, ud, rd []float64, n1, n2, i, tile int, c stencil.Coeffs) {
+	c0, c1, c2, c3 := c[0], c[1], c[2], c[3]
+	tj, tk := tileOr(tile, n1-2), tileOr(tile, n2-2)
+	for jt := 1; jt < n1-1; jt += tj {
+		jEnd := min(jt+tj, n1-1)
+		for kt := 1; kt < n2-1; kt += tk {
+			kEnd := min(kt+tk, n2-1)
+			mz := ((i-1)*n1 + jt) * n2
+			zz := (i*n1 + jt) * n2
+			pz := ((i+1)*n1 + jt) * n2
+			for j := jt; j < jEnd; j, mz, zz, pz = j+1, mz+n2, zz+n2, pz+n2 {
+				rMM, rMZ, rMP := rd[mz-n2:mz], rd[mz:mz+n2], rd[mz+n2:mz+2*n2]
+				rZM, rZZ, rZP := rd[zz-n2:zz], rd[zz:zz+n2], rd[zz+n2:zz+2*n2]
+				rPM, rPZ, rPP := rd[pz-n2:pz], rd[pz:pz+n2], rd[pz+n2:pz+2*n2]
+				oZZ, zZZ := od[zz:zz+n2], zd[zz:zz+n2]
+				switch {
+				case ud == nil && c3 == 0:
+					// Constant folding of the zero corner coefficient
+					// (the S stencils): the eight corner additions
+					// disappear; c3·s3 was an exact zero.
+					for k := kt; k < kEnd; k++ {
+						s1 := rMZ[k] + rZM[k] + rZZ[k-1] + rZZ[k+1] + rZP[k] + rPZ[k]
+						s2 := rMM[k] + rMZ[k-1] + rMZ[k+1] + rMP[k] +
+							rZM[k-1] + rZM[k+1] + rZP[k-1] + rZP[k+1] +
+							rPM[k] + rPZ[k-1] + rPZ[k+1] + rPP[k]
+						oZZ[k] = zZZ[k] + ((c0*rZZ[k] + c1*s1) + c2*s2)
+					}
+				case ud == nil:
+					for k := kt; k < kEnd; k++ {
+						s1 := rMZ[k] + rZM[k] + rZZ[k-1] + rZZ[k+1] + rZP[k] + rPZ[k]
+						s2 := rMM[k] + rMZ[k-1] + rMZ[k+1] + rMP[k] +
+							rZM[k-1] + rZM[k+1] + rZP[k-1] + rZP[k+1] +
+							rPM[k] + rPZ[k-1] + rPZ[k+1] + rPP[k]
+						s3 := rMM[k-1] + rMM[k+1] + rMP[k-1] + rMP[k+1] +
+							rPM[k-1] + rPM[k+1] + rPP[k-1] + rPP[k+1]
+						oZZ[k] = zZZ[k] + (((c0*rZZ[k] + c1*s1) + c2*s2) + c3*s3)
+					}
+				case c3 == 0:
+					uZZ := ud[zz : zz+n2]
+					for k := kt; k < kEnd; k++ {
 						s1 := rMZ[k] + rZM[k] + rZZ[k-1] + rZZ[k+1] + rZP[k] + rPZ[k]
 						s2 := rMM[k] + rMZ[k-1] + rMZ[k+1] + rMP[k] +
 							rZM[k-1] + rZM[k+1] + rZP[k-1] + rZP[k+1] +
 							rPM[k] + rPZ[k-1] + rPZ[k+1] + rPP[k]
 						oZZ[k] = uZZ[k] + (zZZ[k] + ((c0*rZZ[k] + c1*s1) + c2*s2))
 					}
-					continue
-				}
-				for k := 1; k < n2-1; k++ {
-					s1 := rMZ[k] + rZM[k] + rZZ[k-1] + rZZ[k+1] + rZP[k] + rPZ[k]
-					s2 := rMM[k] + rMZ[k-1] + rMZ[k+1] + rMP[k] +
-						rZM[k-1] + rZM[k+1] + rZP[k-1] + rZP[k+1] +
-						rPM[k] + rPZ[k-1] + rPZ[k+1] + rPP[k]
-					s3 := rMM[k-1] + rMM[k+1] + rMP[k-1] + rMP[k+1] +
-						rPM[k-1] + rPM[k+1] + rPP[k-1] + rPP[k+1]
-					oZZ[k] = uZZ[k] + (zZZ[k] + (((c0*rZZ[k] + c1*s1) + c2*s2) + c3*s3))
+				default:
+					uZZ := ud[zz : zz+n2]
+					for k := kt; k < kEnd; k++ {
+						s1 := rMZ[k] + rZM[k] + rZZ[k-1] + rZZ[k+1] + rZP[k] + rPZ[k]
+						s2 := rMM[k] + rMZ[k-1] + rMZ[k+1] + rMP[k] +
+							rZM[k-1] + rZM[k+1] + rZP[k-1] + rZP[k+1] +
+							rPM[k] + rPZ[k-1] + rPZ[k+1] + rPP[k]
+						s3 := rMM[k-1] + rMM[k+1] + rMP[k-1] + rMP[k+1] +
+							rPM[k-1] + rPM[k+1] + rPP[k-1] + rPP[k+1]
+						oZZ[k] = uZZ[k] + (zZZ[k] + (((c0*rZZ[k] + c1*s1) + c2*s2) + c3*s3))
+					}
 				}
 			}
 		}
-	})
-	return out
+	}
 }
 
 // addBorders writes dst = a + b on the six boundary planes of a rank-3
@@ -248,23 +414,33 @@ func projectCondense(e *wl.Env, r *array.Array, c stencil.Coeffs) *array.Array {
 	mo := mf/2 + 1
 	out := e.NewArray(shape.Of(mo, mo, mo))
 	od, rd := out.Data(), r.Data()
-	c0, c1, c2, c3 := c[0], c[1], c[2], c[3]
-	forPlanes(e, mo, (mo-2)*(mo-2), func(lo, hi int) {
+	forPlanes(e, "projectCondense", mo, (mo-2)*(mo-2), func(lo, hi, tile int) {
 		for jc := lo; jc < hi; jc++ {
-			i := 2 * jc
-			for j2 := 1; j2 < mo-1; j2++ {
-				j := 2 * j2
-				mm := ((i-1)*mf + (j - 1)) * mf
-				mz := ((i-1)*mf + j) * mf
-				mp := ((i-1)*mf + (j + 1)) * mf
-				zm := (i*mf + (j - 1)) * mf
-				zz := (i*mf + j) * mf
-				zp := (i*mf + (j + 1)) * mf
-				pm := ((i+1)*mf + (j - 1)) * mf
-				pz := ((i+1)*mf + j) * mf
-				pp := ((i+1)*mf + (j + 1)) * mf
-				base := (jc*mo + j2) * mo
-				for j1 := 1; j1 < mo-1; j1++ {
+			projectCondensePlane(od, rd, mf, mo, jc, tile, c)
+		}
+	})
+	return out
+}
+
+// projectCondensePlane projects coarse plane jc, j/k-tiled over the coarse
+// index space. The fine row bases advance two row strides per coarse row.
+func projectCondensePlane(od, rd []float64, mf, mo, jc, tile int, c stencil.Coeffs) {
+	c0, c1, c2, c3 := c[0], c[1], c[2], c[3]
+	i := 2 * jc
+	tj, tk := tileOr(tile, mo-2), tileOr(tile, mo-2)
+	for jt := 1; jt < mo-1; jt += tj {
+		jEnd := min(jt+tj, mo-1)
+		for kt := 1; kt < mo-1; kt += tk {
+			kEnd := min(kt+tk, mo-1)
+			mz := ((i-1)*mf + 2*jt) * mf
+			zz := (i*mf + 2*jt) * mf
+			pz := ((i+1)*mf + 2*jt) * mf
+			base := (jc*mo + jt) * mo
+			for j2 := jt; j2 < jEnd; j2, mz, zz, pz, base = j2+1, mz+2*mf, zz+2*mf, pz+2*mf, base+mo {
+				mm, mp := mz-mf, mz+mf
+				zm, zp := zz-mf, zz+mf
+				pm, pp := pz-mf, pz+mf
+				for j1 := kt; j1 < kEnd; j1++ {
 					k := 2 * j1
 					s1 := rd[mz+k] + rd[zm+k] + rd[zz+k-1] + rd[zz+k+1] + rd[zp+k] + rd[pz+k]
 					s2 := rd[mm+k] + rd[mz+k-1] + rd[mz+k+1] + rd[mp+k] +
@@ -276,8 +452,7 @@ func projectCondense(e *wl.Env, r *array.Array, c stencil.Coeffs) *array.Array {
 				}
 			}
 		}
-	})
-	return out
+	}
 }
 
 // interpolate computes the folded Coarse2Fine:
@@ -293,19 +468,35 @@ func interpolate(e *wl.Env, rn *array.Array, c stencil.Coeffs) *array.Array {
 	mf := 2*mc - 2
 	out := e.NewArray(shape.Of(mf, mf, mf))
 	od, zd := out.Data(), rn.Data()
-	c0, c1, c2, c3 := c[0], c[1], c[2], c[3]
-	forPlanes(e, mf, (mf-2)*(mf-2), func(lo, hi int) {
+	forPlanes(e, "interpolate", mf, (mf-2)*(mf-2), func(lo, hi, tile int) {
 		for f3 := lo; f3 < hi; f3++ {
-			l3, h3, o3 := f3/2, (f3+1)/2, f3&1 == 1
-			for f2 := 1; f2 < mf-1; f2++ {
+			interpolatePlane(od, zd, mc, mf, f3, tile, c)
+		}
+	})
+	return out
+}
+
+// interpolatePlane interpolates fine plane f3, j/k-tiled over the fine
+// index space. The four contributing coarse row bases are derived with two
+// multiplies per row (the high row is the low row or one stride above).
+func interpolatePlane(od, zd []float64, mc, mf, f3, tile int, c stencil.Coeffs) {
+	c0, c1, c2, c3 := c[0], c[1], c[2], c[3]
+	l3, h3, o3 := f3/2, (f3+1)/2, f3&1 == 1
+	rowL3, rowH3 := l3*mc, h3*mc
+	tj, tk := tileOr(tile, mf-2), tileOr(tile, mf-2)
+	for jt := 1; jt < mf-1; jt += tj {
+		jEnd := min(jt+tj, mf-1)
+		for kt := 1; kt < mf-1; kt += tk {
+			kEnd := min(kt+tk, mf-1)
+			base := (f3*mf + jt) * mf
+			for f2 := jt; f2 < jEnd; f2, base = f2+1, base+mf {
 				l2, h2, o2 := f2/2, (f2+1)/2, f2&1 == 1
 				// Row bases of the up-to-four contributing coarse rows.
-				bll := (l3*mc + l2) * mc
-				blh := (l3*mc + h2) * mc
-				bhl := (h3*mc + l2) * mc
-				bhh := (h3*mc + h2) * mc
-				base := (f3*mf + f2) * mf
-				for f1 := 1; f1 < mf-1; f1++ {
+				bll := (rowL3 + l2) * mc
+				blh := bll + (h2-l2)*mc
+				bhl := (rowH3 + l2) * mc
+				bhh := bhl + (h2-l2)*mc
+				for f1 := kt; f1 < kEnd; f1++ {
 					l1, h1, o1 := f1/2, (f1+1)/2, f1&1 == 1
 					var val float64
 					switch {
@@ -331,8 +522,7 @@ func interpolate(e *wl.Env, rn *array.Array, c stencil.Coeffs) *array.Array {
 				}
 			}
 		}
-	})
-	return out
+	}
 }
 
 // copyBorders copies the six boundary planes of a rank-3 grid from src to

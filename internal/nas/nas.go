@@ -294,6 +294,41 @@ func Norm2u3(r *array.Array, n int) (rnm2, rnmu float64) {
 	return math.Sqrt(sum / total), maxAbs
 }
 
+// Norm2u3Planes is Norm2u3 with the sum of squares folded in the canonical
+// blocked association of the parallel fused kernels: a running
+// left-to-right sum per row, rows folded in ascending order into a plane
+// partial, plane partials folded in ascending order. The row sums detach
+// from the grand total exactly where the tiled resid+norm kernel detaches
+// them, so this function reproduces the parallel result bit for bit on one
+// thread — for any worker count, scheduling policy and tile size of the
+// parallel run. (The flat Norm2u3 differs from it in the last ulp or two;
+// the legacy f77/cport/mgmpi paths keep Norm2u3 so their mutual bitwise
+// equality is untouched.)
+func Norm2u3Planes(r *array.Array, n int) (rnm2, rnmu float64) {
+	shp := r.Shape()
+	m1, m2 := shp[1], shp[2]
+	d := r.Data()
+	var sum, maxAbs float64
+	for i3 := 1; i3 < shp[0]-1; i3++ {
+		var planeSum float64
+		for i2 := 1; i2 < m1-1; i2++ {
+			base := (i3*m1 + i2) * m2
+			var rowSum float64
+			for i1 := 1; i1 < m2-1; i1++ {
+				v := d[base+i1]
+				rowSum += v * v
+				if a := math.Abs(v); a > maxAbs {
+					maxAbs = a
+				}
+			}
+			planeSum += rowSum
+		}
+		sum += planeSum
+	}
+	total := float64(n) * float64(n) * float64(n)
+	return math.Sqrt(sum / total), maxAbs
+}
+
 // Probe is the instrumentation hook shared by all MG implementations:
 // when set on a solver it receives the wall-clock duration of every kernel
 // invocation, tagged with the kernel name and grid level. The SMP cost

@@ -253,6 +253,45 @@ func TestNorm2u3(t *testing.T) {
 	}
 }
 
+// Norm2u3Planes computes the same norms up to reassociation of the sum of
+// squares: rnmu must be bitwise identical, rnm2 equal within a few ulps,
+// and the blocked association must match an explicit row→plane→total fold
+// bit for bit (that fold is the contract the parallel fused resid+norm
+// kernel reproduces).
+func TestNorm2u3Planes(t *testing.T) {
+	n := 8
+	r := array.New(shape.Of(n+2, n+2, n+2))
+	for i := range r.Data() {
+		r.Data()[i] = math.Sin(float64(i) * 0.7)
+	}
+	flat2, flatU := Norm2u3(r, n)
+	got2, gotU := Norm2u3Planes(r, n)
+	if gotU != flatU {
+		t.Fatalf("rnmu = %v, flat %v (must be bitwise equal)", gotU, flatU)
+	}
+	if math.Abs(got2-flat2) > 1e-12*flat2 {
+		t.Fatalf("rnm2 = %v, flat %v (beyond reassociation tolerance)", got2, flat2)
+	}
+	var sum float64
+	m := n + 2
+	for i3 := 1; i3 < m-1; i3++ {
+		var plane float64
+		for i2 := 1; i2 < m-1; i2++ {
+			var row float64
+			for i1 := 1; i1 < m-1; i1++ {
+				v := r.Data()[(i3*m+i2)*m+i1]
+				row += v * v
+			}
+			plane += row
+		}
+		sum += plane
+	}
+	want := math.Sqrt(sum / (float64(n) * float64(n) * float64(n)))
+	if got2 != want {
+		t.Fatalf("rnm2 = %.17e, blocked fold %.17e (must be bitwise equal)", got2, want)
+	}
+}
+
 func TestNorm2u3ZeroGrid(t *testing.T) {
 	r := array.New(shape.Of(6, 6, 6))
 	rnm2, rnmu := Norm2u3(r, 4)

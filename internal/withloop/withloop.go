@@ -56,6 +56,7 @@ import (
 	"repro/internal/mempool"
 	"repro/internal/sched"
 	"repro/internal/shape"
+	"repro/internal/tune"
 )
 
 // OptLevel models the sac2c optimization level. See the package comment.
@@ -91,6 +92,14 @@ type Env struct {
 	SeqThreshold int
 	// ForOpt selects the scheduling policy for parallel loops.
 	ForOpt sched.ForOptions
+	// Tile is the j/k cache-tile edge of the tiled rank-3 kernels when no
+	// tuner overrides it (0 = untiled full-plane traversal).
+	Tile int
+	// Tune, when non-nil, supplies per-(kernel, level) execution plans —
+	// scheduling policy, chunk, sequential threshold and tile size — and
+	// calibrates them on first use (see internal/tune). It overrides
+	// ForOpt, SeqThreshold and Tile for the kernels that consult it.
+	Tune *tune.Tuner
 }
 
 // Default returns the environment of the paper's sequential measurements:
@@ -141,6 +150,36 @@ func (e *Env) forOptions() sched.ForOptions {
 	}
 	return o
 }
+
+// PlanFor resolves the execution schedule of one named kernel invocation
+// at the given MG grid level: the scheduler options for its plane loop,
+// the cache-tile edge, and a commit function the kernel must call when the
+// loop has finished (it feeds the measured wall time back to the tuner
+// during calibration). perItem is the number of index vectors each loop
+// iteration covers; the sequential threshold is defined in index vectors,
+// so it is divided by perItem before reaching the scheduler.
+//
+// Without a tuner the plan is the environment's static configuration
+// (ForOpt, SeqThreshold, Tile) and commit is a no-op — bit-for-bit the
+// pre-tuner behaviour.
+func (e *Env) PlanFor(kernel string, level, perItem int) (sched.ForOptions, int, func()) {
+	if e.Tune != nil {
+		plan, commit := e.Tune.Begin(kernel, level)
+		opts := plan.ForOptions()
+		if perItem > 0 {
+			opts.SeqThreshold /= perItem
+		}
+		return opts, plan.Tile, commit
+	}
+	opts := e.ForOpt
+	if perItem > 0 {
+		opts.SeqThreshold = max(opts.SeqThreshold, e.SeqThreshold) / perItem
+	}
+	return opts, e.Tile, noCommit
+}
+
+// noCommit is the shared no-op commit of untuned plans.
+func noCommit() {}
 
 func (e *Env) pool() *mempool.Pool { return e.Pool }
 
