@@ -19,6 +19,7 @@ import (
 	"repro/internal/f77"
 	"repro/internal/harness"
 	"repro/internal/mempool"
+	"repro/internal/metrics"
 	"repro/internal/nas"
 	"repro/internal/periodic"
 	"repro/internal/sched"
@@ -289,5 +290,42 @@ func BenchmarkSACTuned(b *testing.B) {
 				bench.Solve()
 			}
 		})
+	}
+}
+
+// --- Observability overhead guard --------------------------------------------------
+
+// BenchmarkMetricsDisabled is the baseline class-S solve with no collector
+// or tracer attached — the default configuration every other benchmark in
+// this file runs in. Compare against BenchmarkMetricsEnabled to bound the
+// cost of the metrics layer; the disabled path itself is asserted to be
+// allocation-free in internal/metrics (TestMetricsDisabledZeroAlloc).
+func BenchmarkMetricsDisabled(b *testing.B) {
+	env := wl.Default()
+	defer env.Close()
+	bench := core.NewBenchmark(nas.ClassS, env)
+	bench.Reset()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bench.Solve()
+	}
+}
+
+// BenchmarkMetricsEnabled runs the same solve with a live collector and a
+// tracer writing to io.Discard — the full observability cost.
+func BenchmarkMetricsEnabled(b *testing.B) {
+	env := wl.Default()
+	defer env.Close()
+	env.AttachMetrics(metrics.NewCollector(env.Workers()))
+	env.Trace = metrics.NewTracer(io.Discard)
+	bench := core.NewBenchmark(nas.ClassS, env)
+	bench.Reset()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bench.Solve()
+	}
+	b.StopTimer()
+	if err := env.Trace.Close(); err != nil {
+		b.Fatal(err)
 	}
 }

@@ -11,18 +11,33 @@
 //
 // It prints the timed-section duration, the final residual norms, and the
 // official NPB verification verdict.
+//
+// Observability (SAC implementation only):
+//
+//	mg -impl sac -class S -metrics              # per-(kernel, level) table
+//	mg -impl sac -class S -trace run.jsonl      # JSON-lines V-cycle trace
+//	mg -impl sac -class A -http :8080           # expvar + pprof while solving
+//
+// -http serves the standard net/http/pprof handlers plus an "mg.metrics"
+// expvar variable holding the live metrics snapshot as JSON.
 package main
 
 import (
+	"expvar"
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
+	"runtime"
 	"time"
 
 	"repro/internal/array"
 	"repro/internal/core"
 	"repro/internal/cport"
 	"repro/internal/f77"
+	"repro/internal/metrics"
 	"repro/internal/mgmpi"
 	"repro/internal/nas"
 	"repro/internal/periodic"
@@ -40,6 +55,9 @@ func main() {
 		quiet     = flag.Bool("quiet", false, "print only the verification verdict")
 		dump      = flag.String("dump", "", "write the solution grid to this file (binary, see internal/array)")
 		npb       = flag.Bool("npb", false, "print the canonical NPB result block")
+		withStats = flag.Bool("metrics", false, "collect per-(kernel, level) metrics (sac only) and print the table")
+		traceFile = flag.String("trace", "", "write a JSON-lines V-cycle event trace (sac only) to this file")
+		httpAddr  = flag.String("http", "", "serve expvar (/debug/vars, incl. mg.metrics) and pprof on this address while running")
 	)
 	flag.Parse()
 
@@ -47,6 +65,41 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
+	}
+
+	var collector *metrics.Collector
+	var tracer *metrics.Tracer
+	if *withStats || *httpAddr != "" {
+		collector = metrics.NewCollector(max(*threads, runtime.GOMAXPROCS(0)))
+	}
+	if *traceFile != "" {
+		f, err := os.Create(*traceFile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mg:", err)
+			os.Exit(1)
+		}
+		tracer = metrics.NewTracer(f)
+		defer func() {
+			if err := tracer.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "mg: trace:", err)
+			}
+			f.Close()
+		}()
+	}
+	if *httpAddr != "" {
+		// The snapshot merges the shards on demand, so the endpoint sees
+		// live counters mid-solve.
+		expvar.Publish("mg.metrics", expvar.Func(func() any { return collector.Snapshot() }))
+		ln, err := net.Listen("tcp", *httpAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mg:", err)
+			os.Exit(1)
+		}
+		defer ln.Close()
+		if !*quiet {
+			fmt.Printf("serving expvar/pprof on http://%s/debug/vars\n", ln.Addr())
+		}
+		go http.Serve(ln, nil)
 	}
 
 	var (
@@ -67,6 +120,10 @@ func main() {
 			os.Exit(2)
 		}
 		env.Opt = wl.OptLevel(*opt)
+		if collector != nil {
+			env.AttachMetrics(collector)
+		}
+		env.Trace = tracer
 		b := core.NewBenchmark(class, env)
 		b.Reset()
 		start := time.Now()
@@ -74,6 +131,9 @@ func main() {
 		elapsed = time.Since(start)
 		solution = b.U()
 		env.Close()
+		if *withStats {
+			collector.Snapshot().WriteReport(os.Stdout, core.KernelCosts)
+		}
 	case "f77":
 		var pool *sched.Pool
 		fmode := f77.Serial

@@ -17,6 +17,17 @@
 //	mgbench -fig tune -classes S -tuneplan plan.json   # calibrate and save
 //	mgbench -fig 11 -tuneplan plan.json                # run under the plan
 //
+// The observability layer (internal/metrics) hooks in with two flags:
+//
+//	mgbench -fig 11 -metrics                 # per-(kernel, level) table after the run
+//	mgbench -fig 11 -trace run.jsonl         # JSON-lines V-cycle event trace
+//
+// -metrics prints invocation counts, points, time, derived GFLOP/s and
+// effective bandwidth per (kernel, grid level), plus the fraction of the
+// solve the instrumented kernels account for. -trace streams level
+// transitions, kernel spans, iteration markers, tuner plan decisions and
+// solve summaries, one JSON object per line (schema: DESIGN.md §3.2).
+//
 // -cpuprofile/-memprofile wrap the selected figure's measurements with the
 // standard runtime/pprof collectors for kernel-level inspection.
 package main
@@ -30,7 +41,9 @@ import (
 	"runtime/pprof"
 	"strings"
 
+	"repro/internal/core"
 	"repro/internal/harness"
+	"repro/internal/metrics"
 	"repro/internal/nas"
 	"repro/internal/smp"
 	"repro/internal/tune"
@@ -39,16 +52,18 @@ import (
 
 func main() {
 	var (
-		fig        = flag.String("fig", "all", "figure to regenerate: 11, 12, 13, mpi, codesize, tune or all")
-		classes    = flag.String("classes", "S,W", "comma-separated size classes (paper: W,A)")
-		repeats    = flag.Int("repeats", 3, "repetitions per Fig. 11 measurement (best reported)")
-		procs      = flag.Int("procs", 10, "simulated processor count for Figs. 12/13")
-		repo       = flag.String("repo", ".", "repository root (for -fig codesize)")
-		workers    = flag.Int("workers", 0, "worker count for -fig tune calibration (0 = GOMAXPROCS)")
-		maxSolves  = flag.Int("maxsolves", 50, "calibration solve budget per class for -fig tune")
-		tunePlan   = flag.String("tuneplan", "", "autotuner plan file: -fig tune writes it, other figures run the SAC implementation under it")
-		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the measurements to this file")
-		memProfile = flag.String("memprofile", "", "write a heap profile taken after the measurements to this file")
+		fig         = flag.String("fig", "all", "figure to regenerate: 11, 12, 13, mpi, codesize, tune or all")
+		classes     = flag.String("classes", "S,W", "comma-separated size classes (paper: W,A)")
+		repeats     = flag.Int("repeats", 3, "repetitions per Fig. 11 measurement (best reported)")
+		procs       = flag.Int("procs", 10, "simulated processor count for Figs. 12/13")
+		repo        = flag.String("repo", ".", "repository root (for -fig codesize)")
+		workers     = flag.Int("workers", 0, "worker count for -fig tune calibration (0 = GOMAXPROCS)")
+		maxSolves   = flag.Int("maxsolves", 50, "calibration solve budget per class for -fig tune")
+		tunePlan    = flag.String("tuneplan", "", "autotuner plan file: -fig tune writes it, other figures run the SAC implementation under it")
+		cpuProfile  = flag.String("cpuprofile", "", "write a CPU profile of the measurements to this file")
+		memProfile  = flag.String("memprofile", "", "write a heap profile taken after the measurements to this file")
+		showMetrics = flag.Bool("metrics", false, "collect per-(kernel, level) metrics in the SAC runs and print the table afterwards")
+		traceFile   = flag.String("trace", "", "write a JSON-lines V-cycle event trace of the SAC runs to this file")
 	)
 	flag.Parse()
 
@@ -78,6 +93,48 @@ func main() {
 			return e
 		}
 		fmt.Fprintf(out, "SAC environment: autotuned plan %s\n\n", *tunePlan)
+	}
+
+	// Observability: attach a collector and/or tracer to every SAC
+	// environment the harness builds.
+	var collector *metrics.Collector
+	var tracer *metrics.Tracer
+	if *showMetrics {
+		collector = metrics.NewCollector(runtime.GOMAXPROCS(0))
+	}
+	if *traceFile != "" {
+		f, err := os.Create(*traceFile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mgbench:", err)
+			os.Exit(1)
+		}
+		tracer = metrics.NewTracer(f)
+		defer func() {
+			if err := tracer.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "mgbench: trace:", err)
+			}
+			f.Close()
+			fmt.Fprintf(out, "Trace: %d events written to %s\n", tracer.Events(), *traceFile)
+		}()
+		// Route tuner plan decisions into the trace.
+		harness.TuneObserver = func(key tune.Key, plan tune.Plan) {
+			tracer.Emit(metrics.Event{Ev: "plan", Kernel: key.Kernel, Level: key.Level,
+				Plan: plan.String()})
+		}
+	}
+	if collector != nil || tracer != nil {
+		prev := harness.SACEnv
+		harness.SACEnv = func() *wl.Env {
+			e := prev()
+			e.AttachMetrics(collector)
+			e.Trace = tracer
+			return e
+		}
+		defer func() {
+			if collector != nil {
+				collector.Snapshot().WriteReport(out, core.KernelCosts)
+			}
+		}()
 	}
 
 	if *cpuProfile != "" {

@@ -36,7 +36,6 @@ package core
 
 import (
 	"fmt"
-	"time"
 
 	"repro/internal/aplib"
 	"repro/internal/array"
@@ -85,24 +84,6 @@ func New(env *wl.Env) *Solver {
 	}
 }
 
-// probe wraps one V-cycle operation with the timing hook. The level tag is
-// log2 of the grid's interior extent.
-func (s *Solver) probe(region string, a *array.Array, f func() *array.Array) *array.Array {
-	if s.Probe == nil {
-		return f()
-	}
-	level := levelOf(a)
-	start := time.Now()
-	out := f()
-	s.Probe(region, level, time.Since(start))
-	return out
-}
-
-// levelOf computes log2(interior extent) of an extended grid.
-func levelOf(a *array.Array) int {
-	return levelOfExtent(a.Shape()[0] - 2)
-}
-
 // MGrid is the paper's Fig. 4 top-level function:
 //
 //	u = genarray(shape(v), 0.0);
@@ -117,8 +98,9 @@ func levelOf(a *array.Array) int {
 // owns both v and the result.
 func (s *Solver) MGrid(v *array.Array, iter int) *array.Array {
 	e := s.Env
-	u := aplib.GenarrayVal(e, v.Shape(), 0.0)
+	u := s.newGuess(v)
 	for i := 0; i < iter; i++ {
+		s.traceIter(i, v)
 		if s.foldable(u) && v.Shape()[0] > 2+2 && s.Gamma <= 1 && s.PostSmooth <= 1 {
 			// Folded iteration: the finest V-cycle level is inlined so
 			// that u + (z + Smooth(r₂)) becomes a single traversal —
@@ -209,6 +191,7 @@ func (s *Solver) smoothAdd(z, r *array.Array) *array.Array {
 // It consumes nothing: the argument r still belongs to the caller.
 func (s *Solver) VCycle(r *array.Array) *array.Array {
 	e := s.Env
+	defer s.traceLevel(r)()
 	if r.Shape()[0] > 2+2 {
 		rn := s.Fine2Coarse(r)
 		zn := s.VCycle(rn)
@@ -358,7 +341,7 @@ func (s *Solver) SetupPeriodicBorder(a *array.Array) *array.Array {
 		// Folded: the chain of six plane modarrays collapses into one
 		// in-place border exchange (identical result; the equality with
 		// the WITH-loop chain is asserted by the package tests).
-		nas.Comm3(a)
+		s.comm3(a)
 		return a
 	}
 	cur := a
@@ -452,6 +435,9 @@ func (b *Benchmark) Solve() (rnm2, rnmu float64) {
 	e := b.Solver.Env
 	if b.u != nil {
 		e.Release(b.u)
+	}
+	if e.Observing() {
+		return b.observedSolve()
 	}
 	b.u = b.Solver.MGrid(b.v, b.Class.Iter)
 	return b.Solver.ResidNorm(b.v, b.u, b.Class.N)

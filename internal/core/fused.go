@@ -38,8 +38,10 @@ package core
 
 import (
 	"math"
+	"time"
 
 	"repro/internal/array"
+	"repro/internal/metrics"
 	"repro/internal/nas"
 	"repro/internal/shape"
 	"repro/internal/stencil"
@@ -97,13 +99,56 @@ func levelOfExtent(n int) int {
 	return l
 }
 
+// kernelClock starts the metrics timer for one fused-kernel invocation.
+// Kernels call it at function entry — before output allocation and border
+// copies — so the recorded time covers the whole invocation, not just the
+// plane sweep (at class-A sizes the pool's zeroing of a fresh 258³ output
+// is a solid fraction of the kernel). Without a collector it returns the
+// zero time at the cost of one nil check.
+func kernelClock(e *wl.Env) (t time.Time) {
+	if e.Metrics != nil {
+		t = time.Now()
+	}
+	return
+}
+
 // forPlanes partitions the interior planes [1, n0-1) of a rank-3 grid
 // across the environment's workers under the (kernel, level) plan, passing
-// the plan's tile edge to the body.
-func forPlanes(e *wl.Env, kernel string, n0, perPlane int, body func(lo, hi, tile int)) {
-	opts, tile, commit := e.PlanFor(kernel, levelOfExtent(n0-2), perPlane)
+// the plan's tile edge to the body. With a collector attached the
+// invocation is recorded under (kernel, level) as the time since started
+// (the caller's kernelClock, taken before it allocated the output);
+// without one the only extra cost is a nil check.
+func forPlanes(e *wl.Env, kernel string, started time.Time, n0, perPlane int, body func(lo, hi, tile int)) {
+	level := levelOfExtent(n0 - 2)
+	opts, tile, commit := e.PlanFor(kernel, level, perPlane)
+	if m := e.Metrics; m != nil {
+		e.Sched.For(n0-2, opts, func(lo, hi, _ int) { body(lo+1, hi+1, tile) })
+		commit()
+		m.Record(0, kernel, level, int64(n0-2)*int64(perPlane), time.Since(started))
+		return
+	}
 	e.Sched.For(n0-2, opts, func(lo, hi, _ int) { body(lo+1, hi+1, tile) })
 	commit()
+}
+
+// KernelCosts is the per-point work model of the fused kernels, feeding
+// the derived GFLOP/s and bandwidth columns of the metrics report. Flops
+// count the arithmetic of one output point (the A stencil drops its zero
+// c1 term, the S stencil its zero c3 term); bytes count unique stream
+// traffic (input grids read once, the output written once — cache-resident
+// stencil re-reads excluded, so the column reads as effective bandwidth).
+var KernelCosts = map[string]metrics.Cost{
+	"subRelax":        {Flops: 24, Bytes: 3 * 8}, // reads u, v; writes out
+	"addRelax":        {Flops: 23, Bytes: 3 * 8}, // reads z, r; writes out
+	"projectCondense": {Flops: 30, Bytes: 2 * 8}, // reads 8 fine pts (≈1 stream per coarse pt); writes out
+	"interpolate":     {Flops: 4, Bytes: 2 * 8},  // reads ≤1 coarse pt per fine pt; writes out
+	"comm3":           {Flops: 0, Bytes: 2 * 8},  // border exchange: each boundary pt read + written
+	"genarray":        {Flops: 0, Bytes: 8},      // grid initialization: each pt written once
+	metrics.TotalKernel: {
+		// The NPB whole-benchmark operation count: 58 flops per fine
+		// grid point per iteration (nas.Class.FlopCount), ~4 streams.
+		Flops: 58, Bytes: 4 * 8,
+	},
 }
 
 // tileOr returns the effective tile edge: tile when positive, otherwise
@@ -119,12 +164,13 @@ func tileOr(tile, n int) int {
 // aplib.Sub(v, Resid(u)). u must have its periodic border prepared.
 // Boundary elements are v's (the relaxation contributes zero there).
 func subRelax(e *wl.Env, v, u *array.Array, c stencil.Coeffs) *array.Array {
+	started := kernelClock(e)
 	shp := u.Shape()
 	n0, n1, n2 := shp[0], shp[1], shp[2]
 	out := e.NewArrayDirty(shp)
 	od, vd, ud := out.Data(), v.Data(), u.Data()
 	copyBorders(od, vd, n0, n1, n2)
-	forPlanes(e, "subRelax", n0, (n1-2)*(n2-2), func(lo, hi, tile int) {
+	forPlanes(e, "subRelax", started, n0, (n1-2)*(n2-2), func(lo, hi, tile int) {
 		for i := lo; i < hi; i++ {
 			subRelaxPlane(od, vd, ud, n1, n2, i, tile, c)
 		}
@@ -189,6 +235,7 @@ func subRelaxPlane(od, vd, ud []float64, n1, n2, i, tile int, c stencil.Coeffs) 
 // ascending j and planes in ascending i, so the sums are bit-identical
 // for every tile size, worker count and scheduling policy.
 func subRelaxNorm(e *wl.Env, v, u *array.Array, c stencil.Coeffs) (out *array.Array, sumSq, maxAbs float64) {
+	started := kernelClock(e)
 	shp := u.Shape()
 	n0, n1, n2 := shp[0], shp[1], shp[2]
 	out = e.NewArrayDirty(shp)
@@ -196,7 +243,7 @@ func subRelaxNorm(e *wl.Env, v, u *array.Array, c stencil.Coeffs) (out *array.Ar
 	copyBorders(od, vd, n0, n1, n2)
 	sums := make([]float64, n0)
 	maxs := make([]float64, n0)
-	forPlanes(e, "subRelax", n0, (n1-2)*(n2-2), func(lo, hi, tile int) {
+	forPlanes(e, "subRelax", started, n0, (n1-2)*(n2-2), func(lo, hi, tile int) {
 		rowSum := make([]float64, tileOr(tile, n1-2))
 		for i := lo; i < hi; i++ {
 			sums[i], maxs[i] = subRelaxNormPlane(od, vd, ud, n1, n2, i, tile, c, rowSum)
@@ -277,12 +324,13 @@ func subRelaxNormPlane(od, vd, ud []float64, n1, n2, i, tile int, c stencil.Coef
 // addRelax computes out = z + Relax(r, c): the folded form of
 // aplib.Add(z, Smooth(r)). r must have its periodic border prepared.
 func addRelax(e *wl.Env, z, r *array.Array, c stencil.Coeffs) *array.Array {
+	started := kernelClock(e)
 	shp := z.Shape()
 	n0, n1, n2 := shp[0], shp[1], shp[2]
 	out := e.NewArrayDirty(shp)
 	od, zd, rd := out.Data(), z.Data(), r.Data()
 	copyBorders(od, zd, n0, n1, n2)
-	forPlanes(e, "addRelax", n0, (n1-2)*(n2-2), func(lo, hi, tile int) {
+	forPlanes(e, "addRelax", started, n0, (n1-2)*(n2-2), func(lo, hi, tile int) {
 		for i := lo; i < hi; i++ {
 			addRelaxPlane(od, zd, nil, rd, n1, n2, i, tile, c)
 		}
@@ -295,12 +343,13 @@ func addRelax(e *wl.Env, z, r *array.Array, c stencil.Coeffs) *array.Array {
 // unfolded Add(u, addRelax(z, r)) bit for bit. r must have its periodic
 // border prepared; boundary elements are u + z.
 func addRelaxPlus(e *wl.Env, u, z, r *array.Array, c stencil.Coeffs) *array.Array {
+	started := kernelClock(e)
 	shp := z.Shape()
 	n0, n1, n2 := shp[0], shp[1], shp[2]
 	out := e.NewArrayDirty(shp)
 	od, udat, zd, rd := out.Data(), u.Data(), z.Data(), r.Data()
 	addBorders(od, udat, zd, n0, n1, n2)
-	forPlanes(e, "addRelax", n0, (n1-2)*(n2-2), func(lo, hi, tile int) {
+	forPlanes(e, "addRelax", started, n0, (n1-2)*(n2-2), func(lo, hi, tile int) {
 		for i := lo; i < hi; i++ {
 			addRelaxPlane(od, zd, udat, rd, n1, n2, i, tile, c)
 		}
@@ -408,13 +457,14 @@ func addBorders(dst, a, b []float64, n0, n1, n2 int) {
 // periodic border prepared. The coarse boundary is zero, exactly like the
 // unfolded relax (zero border) → condense → embed chain.
 func projectCondense(e *wl.Env, r *array.Array, c stencil.Coeffs) *array.Array {
+	started := kernelClock(e)
 	mf := r.Shape()[0]
 	// condense halves the extent (mf/2), embed adds the missing boundary
 	// element: the coarse extended extent is mf/2 + 1.
 	mo := mf/2 + 1
 	out := e.NewArray(shape.Of(mo, mo, mo))
 	od, rd := out.Data(), r.Data()
-	forPlanes(e, "projectCondense", mo, (mo-2)*(mo-2), func(lo, hi, tile int) {
+	forPlanes(e, "projectCondense", started, mo, (mo-2)*(mo-2), func(lo, hi, tile int) {
 		for jc := lo; jc < hi; jc++ {
 			projectCondensePlane(od, rd, mf, mo, jc, tile, c)
 		}
@@ -464,11 +514,12 @@ func projectCondensePlane(od, rd []float64, mf, mo, jc, tile int, c stencil.Coef
 // order as the generic kernel, so the result is bit-identical to the
 // unfolded chain (the eliminated terms are exact zeros).
 func interpolate(e *wl.Env, rn *array.Array, c stencil.Coeffs) *array.Array {
+	started := kernelClock(e)
 	mc := rn.Shape()[0]
 	mf := 2*mc - 2
 	out := e.NewArray(shape.Of(mf, mf, mf))
 	od, zd := out.Data(), rn.Data()
-	forPlanes(e, "interpolate", mf, (mf-2)*(mf-2), func(lo, hi, tile int) {
+	forPlanes(e, "interpolate", started, mf, (mf-2)*(mf-2), func(lo, hi, tile int) {
 		for f3 := lo; f3 < hi; f3++ {
 			interpolatePlane(od, zd, mc, mf, f3, tile, c)
 		}

@@ -38,8 +38,14 @@ var ImplNames = []string{"F77", "SAC", "C/OpenMP"}
 
 // SACEnv builds the WITH-loop environment the SAC implementation runs in.
 // It defaults to the paper's sequential configuration; cmd/mgbench swaps
-// it to install a calibrated autotuner plan (-tuneplan).
+// it to install a calibrated autotuner plan (-tuneplan) or to attach the
+// observability layer (-metrics, -trace).
 var SACEnv = wl.Default
+
+// TuneObserver, when non-nil, is installed as the Observer of every tuner
+// the harness creates, so plan decisions reach the V-cycle trace
+// (cmd/mgbench -trace).
+var TuneObserver func(tune.Key, tune.Plan)
 
 // Fig11Row is the measurement of one size class: best-of-repeats seconds
 // for the timed benchmark section per implementation, plus verification.
@@ -339,7 +345,7 @@ type CodeSizeRow struct {
 func RunCodeSize(w io.Writer, repoRoot string) ([]CodeSizeRow, error) {
 	rows := []CodeSizeRow{
 		{Impl: "SAC program (paper Figs. 4/6/7 + driver)", Files: []string{"internal/core/core.go"}},
-		{Impl: "  modeled sac2c folding output (excluded)", Files: []string{"internal/core/fused.go"}},
+		{Impl: "  sac2c folding output + instrumentation (excluded)", Files: []string{"internal/core/fused.go", "internal/core/observe.go"}},
 		{Impl: "F77 reference port", Files: []string{"internal/f77/f77.go"}},
 		{Impl: "C/OpenMP port", Files: []string{"internal/cport/cport.go"}},
 		{Impl: "shared NPB spec (zran3/comm3/norms)", Files: []string{"internal/nas/nas.go"}},
@@ -403,6 +409,7 @@ func RunTune(w io.Writer, class nas.Class, workers, maxSolves int) *tune.Tuner {
 	env := wl.Parallel(workers)
 	defer env.Close()
 	tu := tune.New(env.Workers())
+	tu.Observer = TuneObserver
 	env.Tune = tu
 	b := core.NewBenchmark(class, env)
 	b.Reset()

@@ -1,0 +1,114 @@
+// The V-cycle event tracer: a JSON-lines stream of level transitions,
+// kernel spans, iteration markers, tuner plan decisions and whole-solve
+// summaries, for offline inspection of one benchmark run (cmd/mgbench
+// -trace out.jsonl). One JSON object per line; the schema is the Event
+// struct below (documented in DESIGN.md §3.2).
+package metrics
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"sync"
+	"time"
+)
+
+// Event is one trace record. Ev selects the kind; unused fields are
+// omitted from the JSON:
+//
+//	span   one timed V-cycle region (Kernel = resid | smooth |
+//	       fine2coarse | coarse2fine — the restrict/prolong spans keep
+//	       their repository names) at Level, taking Nanos
+//	level  a V-cycle level transition: Dir "down" entering Level,
+//	       "up" leaving it
+//	iter   the start of MGrid iteration Iter (1-based)
+//	plan   the tuner settled on (or was handed) Plan for Kernel@Level
+//	solve  one whole benchmark solve: Nanos of wall time, final Rnm2
+type Event struct {
+	// T is nanoseconds since the tracer was created; Emit stamps it.
+	T int64 `json:"t"`
+	// Ev is the event kind: span, level, iter, plan or solve.
+	Ev     string  `json:"ev"`
+	Kernel string  `json:"kernel,omitempty"`
+	Level  int     `json:"level,omitempty"`
+	Dir    string  `json:"dir,omitempty"`
+	Nanos  int64   `json:"ns,omitempty"`
+	Plan   string  `json:"plan,omitempty"`
+	Iter   int     `json:"iter,omitempty"`
+	Rnm2   float64 `json:"rnm2,omitempty"`
+}
+
+// Tracer writes Events as JSON lines. A nil *Tracer is the disabled
+// tracer: Emit is a no-op costing one nil check and no allocations.
+// A Tracer is safe for concurrent use; the first encoding error sticks
+// and suppresses further output (check Err or Close).
+type Tracer struct {
+	mu    sync.Mutex
+	bw    *bufio.Writer
+	enc   *json.Encoder
+	start time.Time
+	n     int
+	err   error
+}
+
+// NewTracer creates a tracer writing to w. The stream is buffered; call
+// Close (or Flush) when the run is done. The caller retains ownership of
+// w and closes it after the tracer.
+func NewTracer(w io.Writer) *Tracer {
+	bw := bufio.NewWriter(w)
+	return &Tracer{bw: bw, enc: json.NewEncoder(bw), start: time.Now()}
+}
+
+// Emit writes one event, stamping its T with the time since the tracer
+// was created. Emit on a nil tracer is a no-op.
+func (t *Tracer) Emit(e Event) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	if t.err == nil {
+		e.T = int64(time.Since(t.start))
+		if err := t.enc.Encode(e); err != nil {
+			t.err = err
+		} else {
+			t.n++
+		}
+	}
+	t.mu.Unlock()
+}
+
+// Events returns the number of events written so far.
+func (t *Tracer) Events() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.n
+}
+
+// Flush drains the buffer and returns the first error seen.
+func (t *Tracer) Flush() error {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if err := t.bw.Flush(); err != nil && t.err == nil {
+		t.err = err
+	}
+	return t.err
+}
+
+// Err returns the sticky error, if any.
+func (t *Tracer) Err() error {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.err
+}
+
+// Close flushes the stream. It does not close the underlying writer.
+func (t *Tracer) Close() error { return t.Flush() }

@@ -1,0 +1,119 @@
+package nas
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/array"
+	"repro/internal/shape"
+)
+
+// TestGoldenVerificationValues pins the verification constants against the
+// NPB 2.3 reference values restated literally here, so an accidental edit
+// of the class table cannot slip through, and exercises the ±Epsilon
+// acceptance band of Verify. For class S — the only class where the naive
+// oracle is affordable — the constant is additionally reproduced from
+// scratch by running the full benchmark on the oracle kernels.
+func TestGoldenVerificationValues(t *testing.T) {
+	cases := []struct {
+		name   string
+		class  Class
+		golden float64 // NPB 2.3 published value, restated
+		oracle bool    // cross-check by running the oracle benchmark
+	}{
+		{"S", ClassS, 0.5307707005734e-4, true},
+		{"W", ClassW, 0.2503914064394e-17, false},
+		{"A", ClassA, 0.2433365309069e-5, false},
+		{"B", ClassB, 0.1800564401355e-5, false},
+		{"C", ClassC, 0.5706732285740e-6, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			v, official, ok := tc.class.VerifyValue()
+			if !ok {
+				t.Fatalf("class %s has no verification value", tc.name)
+			}
+			if !official {
+				t.Fatalf("class %s verification value is not marked official", tc.name)
+			}
+			if v != tc.golden {
+				t.Fatalf("class %s verification value = %.17e, want NPB 2.3 %.17e",
+					tc.name, v, tc.golden)
+			}
+			// The acceptance band: within ±Epsilon passes, outside fails.
+			for _, probe := range []struct {
+				rnm2 float64
+				want bool
+			}{
+				{tc.golden, true},
+				{tc.golden + Epsilon/2, true},
+				{tc.golden - Epsilon/2, true},
+				{tc.golden + 2*Epsilon, false},
+				{tc.golden - 2*Epsilon, false},
+			} {
+				verified, ok := tc.class.Verify(probe.rnm2)
+				if !ok {
+					t.Fatalf("Verify(%v) not ok", probe.rnm2)
+				}
+				if verified != probe.want {
+					t.Fatalf("class %s: Verify(%.17e) = %v, want %v",
+						tc.name, probe.rnm2, verified, probe.want)
+				}
+			}
+			if tc.oracle {
+				got := oracleBenchmark(tc.class)
+				if math.Abs(got-tc.golden) > Epsilon {
+					t.Fatalf("oracle benchmark rnm2 = %.17e, NPB golden %.17e (diff %.2e > ε)",
+						got, tc.golden, math.Abs(got-tc.golden))
+				}
+				t.Logf("oracle class %s rnm2 = %.13e (golden %.13e)", tc.name, got, tc.golden)
+			}
+		})
+	}
+}
+
+// oracleBenchmark runs the whole NPB benchmark — zran3 charges, Iter ×
+// (residual + V-cycle correction), final residual norm — entirely on the
+// naive oracle kernels over compact torus grids, independent of every
+// production code path.
+func oracleBenchmark(class Class) float64 {
+	n := class.N
+	opA := [4]float64{-8.0 / 3.0, 0, 1.0 / 6.0, 1.0 / 12.0}
+	opS := [4]float64(class.SmootherCoeffs())
+
+	// zran3 fills an extended grid; crop its interior to the compact form.
+	ext := array.New(class.ExtShape(class.LT()))
+	Zran3(ext, n)
+	v := array.New(shape.Of(n, n, n))
+	m := n + 2
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			src := ((i+1)*m+(j+1))*m + 1
+			dst := (i*n + j) * n
+			copy(v.Data()[dst:dst+n], ext.Data()[src:src+n])
+		}
+	}
+
+	u := array.New(shape.Of(n, n, n))
+	residual := func() *array.Array {
+		au := OracleStencil(u, opA)
+		r := array.New(v.Shape())
+		for i := range r.Data() {
+			r.Data()[i] = v.Data()[i] - au.Data()[i]
+		}
+		return r
+	}
+	for it := 0; it < class.Iter; it++ {
+		r := residual()
+		z := OracleVCycle(r, opA, opS)
+		for i := range u.Data() {
+			u.Data()[i] += z.Data()[i]
+		}
+	}
+	r := residual()
+	var sum float64
+	for _, x := range r.Data() {
+		sum += x * x
+	}
+	return math.Sqrt(sum / float64(n*n*n))
+}

@@ -302,8 +302,10 @@ func Norm2u3(r *array.Array, n int) (rnm2, rnmu float64) {
 // them, so this function reproduces the parallel result bit for bit on one
 // thread — for any worker count, scheduling policy and tile size of the
 // parallel run. (The flat Norm2u3 differs from it in the last ulp or two;
-// the legacy f77/cport/mgmpi paths keep Norm2u3 so their mutual bitwise
-// equality is untouched.)
+// the legacy f77/cport paths keep Norm2u3 so their mutual bitwise equality
+// is untouched, while mgmpi's distributed reduction folds per-plane
+// partials in this same association — rank-count-invariant for slab
+// decompositions.)
 func Norm2u3Planes(r *array.Array, n int) (rnm2, rnmu float64) {
 	shp := r.Shape()
 	m1, m2 := shp[1], shp[2]

@@ -27,6 +27,9 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"repro/internal/metrics"
 )
 
 // Policy selects how an iteration space is partitioned across workers.
@@ -120,7 +123,18 @@ type Pool struct {
 	work   chan func(worker int)
 	closed atomic.Bool
 	wg     sync.WaitGroup
+	// metrics, when non-nil, receives per-worker busy time for every
+	// parallel fan-out (see SetMetrics). nil — the default — costs one
+	// predictable nil check per fan-out.
+	metrics *metrics.Collector
 }
+
+// SetMetrics attaches a collector that receives one RecordBusy per worker
+// per parallel fan-out: the wall time the worker spent inside the loop
+// body, the raw material of load-balance analysis. Call it before the
+// pool executes loops (it is not synchronized against concurrent For).
+// SetMetrics(nil) detaches.
+func (p *Pool) SetMetrics(c *metrics.Collector) { p.metrics = c }
 
 // NewPool creates a pool with the given number of workers. workers <= 0
 // selects runtime.GOMAXPROCS(0). The pool must be Closed when no longer
@@ -222,6 +236,12 @@ func (p *Pool) runOnAll(part func(worker int)) {
 			}
 			wg.Done()
 		}()
+		if m := p.metrics; m != nil {
+			start := time.Now()
+			part(w)
+			m.RecordBusy(w, time.Since(start))
+			return
+		}
 		part(w)
 	}
 	wg.Add(p.nw)

@@ -1,0 +1,148 @@
+package tune
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+	"unicode/utf8"
+
+	"repro/internal/sched"
+)
+
+// FuzzProfileLoad feeds arbitrary bytes to Load: it must either succeed or
+// return an error — never panic — and a successful load must survive a
+// Save/Load round trip.
+func FuzzProfileLoad(f *testing.F) {
+	// Seed 1: a real Save output.
+	t := New(4)
+	t.SetPlan(Key{Kernel: "subRelax", Level: 5}, Plan{Policy: sched.Dynamic, Chunk: 2, Tile: 16})
+	t.SetPlan(Key{Kernel: "interpolate", Level: 3}, Plan{Policy: sched.StaticBlock, SeqThreshold: SeqAlways})
+	var valid bytes.Buffer
+	if err := t.Save(&valid); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid.Bytes())
+	// Seed 2: truncated document.
+	f.Add(valid.Bytes()[:valid.Len()/2])
+	// Seed 3: key without a level suffix.
+	f.Add([]byte(`{"workers":4,"plans":{"subRelax":{"policy":"dynamic"}}}`))
+	// Seed 4: unknown policy name.
+	f.Add([]byte(`{"workers":4,"plans":{"subRelax@5":{"policy":"fancy"}}}`))
+	// Seed 5: junk.
+	f.Add([]byte("not json at all"))
+	f.Add([]byte(`{"workers":"four"}`))
+	f.Add([]byte(`{"plans":{"a@-3":{"tile":-1}}}`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tu := New(4)
+		if err := tu.Load(bytes.NewReader(data)); err != nil {
+			return // rejected cleanly; that's the contract
+		}
+		// Accepted input must round-trip: Save it, Load into a fresh
+		// tuner, and compare the plan maps.
+		var out bytes.Buffer
+		if err := tu.Save(&out); err != nil {
+			t.Fatalf("Save after successful Load failed: %v", err)
+		}
+		tu2 := New(4)
+		if err := tu2.Load(bytes.NewReader(out.Bytes())); err != nil {
+			t.Fatalf("round trip rejected its own Save output: %v\n%s", err, out.Bytes())
+		}
+		if !reflect.DeepEqual(tu.Plans(), tu2.Plans()) {
+			t.Fatalf("round trip changed plans:\nfirst:  %v\nsecond: %v", tu.Plans(), tu2.Plans())
+		}
+	})
+}
+
+// FuzzPlanRoundTrip drives SetPlan/Save/Load with fuzzer-chosen plan
+// fields and checks the profile survives unchanged.
+func FuzzPlanRoundTrip(f *testing.F) {
+	f.Add("subRelax", 5, uint8(2), 4, 0, 16)
+	f.Add("a@b", 0, uint8(0), 0, 1<<40, 0)
+	f.Add("", 12, uint8(3), -1, -1, -1)
+	f.Fuzz(func(t *testing.T, kernel string, level int, policy uint8, chunk, seq, tile int) {
+		if !utf8.ValidString(kernel) {
+			// encoding/json replaces invalid UTF-8 with U+FFFD, which
+			// would legitimately change the key; that is JSON's contract,
+			// not a round-trip bug.
+			return
+		}
+		plan := Plan{
+			Policy:       sched.Policy(policy % 4),
+			Chunk:        chunk,
+			SeqThreshold: seq,
+			Tile:         tile,
+		}
+		key := Key{Kernel: kernel, Level: level}
+		tu := New(2)
+		tu.SetPlan(key, plan)
+		var buf bytes.Buffer
+		if err := tu.Save(&buf); err != nil {
+			t.Fatalf("Save(%+v) failed: %v", plan, err)
+		}
+		tu2 := New(2)
+		if err := tu2.Load(bytes.NewReader(buf.Bytes())); err != nil {
+			t.Fatalf("Load of own Save output failed: %v\n%s", err, buf.Bytes())
+		}
+		got, ok := tu2.Plans()[key]
+		if !ok {
+			t.Fatalf("key %v lost in round trip; plans: %v", key, tu2.Plans())
+		}
+		if got != plan {
+			t.Fatalf("plan changed in round trip: sent %+v, got %+v", plan, got)
+		}
+	})
+}
+
+// TestLoadCorruptInputs pins the error (not panic) behavior on a fixed
+// table of malformed documents, independent of the fuzz corpus.
+func TestLoadCorruptInputs(t *testing.T) {
+	cases := []struct {
+		name, doc string
+	}{
+		{"empty", ""},
+		{"truncated", `{"workers":4,"plans":{"subRelax@5":{"poli`},
+		{"not json", "schedule: dynamic"},
+		{"key missing level", `{"plans":{"subRelax":{"policy":"dynamic"}}}`},
+		{"key bad level", `{"plans":{"subRelax@five":{"policy":"dynamic"}}}`},
+		{"bad policy", `{"plans":{"subRelax@5":{"policy":"fancy"}}}`},
+		{"wrong types", `{"plans":{"subRelax@5":{"tile":"big"}}}`},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			tu := New(4)
+			if err := tu.Load(strings.NewReader(tc.doc)); err == nil {
+				t.Fatalf("Load accepted %q", tc.doc)
+			}
+			if len(tu.Plans()) != 0 {
+				t.Fatalf("failed Load left plans behind: %v", tu.Plans())
+			}
+		})
+	}
+}
+
+// TestObserverFiresOnSettle checks the Observer sees calibration settle
+// and explicit SetPlan, and that it runs outside the lock (re-entrancy).
+func TestObserverFiresOnSettle(t *testing.T) {
+	tu := New(1)
+	tu.Trials = 1
+	var seen []Key
+	tu.Observer = func(k Key, p Plan) {
+		seen = append(seen, k)
+		tu.Plans() // must not deadlock: observer runs outside the lock
+	}
+	// Single worker → candidate set is sequential plans (tile sweep).
+	// Drive Begin/commit until the key settles.
+	for i := 0; i < 16 && len(seen) == 0; i++ {
+		_, commit := tu.Begin("subRelax", 2)
+		commit()
+	}
+	if len(seen) != 1 || seen[0] != (Key{Kernel: "subRelax", Level: 2}) {
+		t.Fatalf("observer saw %v, want one settle of subRelax@2", seen)
+	}
+	tu.SetPlan(Key{Kernel: "interpolate", Level: 3}, Plan{})
+	if len(seen) != 2 {
+		t.Fatalf("observer did not see SetPlan: %v", seen)
+	}
+}

@@ -120,6 +120,11 @@ type Tuner struct {
 	Trials int
 	// Now is the clock (nil means time.Now); tests inject a fake.
 	Now func() time.Time
+	// Observer, when non-nil, is called once per key when its plan
+	// settles — at the end of calibration or on SetPlan/Load. The call is
+	// made outside the tuner's lock, so an observer may call back into
+	// the tuner. Set it before tuned execution starts.
+	Observer func(Key, Plan)
 
 	mu      sync.Mutex
 	workers int
@@ -213,8 +218,8 @@ func (t *Tuner) Begin(kernel string, level int) (Plan, func()) {
 	return plan, func() {
 		elapsed := t.now().Sub(start)
 		t.mu.Lock()
-		defer t.mu.Unlock()
 		if e.chosen != nil {
+			t.mu.Unlock()
 			return
 		}
 		if e.trials[idx] == 0 || elapsed < e.best[idx] {
@@ -223,11 +228,17 @@ func (t *Tuner) Begin(kernel string, level int) (Plan, func()) {
 		e.trials[idx]++
 		for _, n := range e.trials {
 			if n < t.trials() {
+				t.mu.Unlock()
 				return
 			}
 		}
 		chosen := e.cands[e.argmin()]
 		e.chosen = &chosen
+		observer := t.Observer
+		t.mu.Unlock()
+		if observer != nil {
+			observer(key, chosen)
+		}
 	}
 }
 
@@ -299,12 +310,17 @@ func (t *Tuner) Plans() map[Key]Plan {
 	return out
 }
 
-// SetPlan installs a plan for a key, ending its calibration.
+// SetPlan installs a plan for a key, ending its calibration. The
+// Observer, if set, is notified.
 func (t *Tuner) SetPlan(key Key, plan Plan) {
 	t.mu.Lock()
-	defer t.mu.Unlock()
 	p := plan
 	t.entries[key] = &entry{chosen: &p}
+	observer := t.Observer
+	t.mu.Unlock()
+	if observer != nil {
+		observer(key, plan)
+	}
 }
 
 // profile is the JSON document of Save/Load.

@@ -54,6 +54,7 @@ import (
 
 	"repro/internal/array"
 	"repro/internal/mempool"
+	"repro/internal/metrics"
 	"repro/internal/sched"
 	"repro/internal/shape"
 	"repro/internal/tune"
@@ -100,6 +101,16 @@ type Env struct {
 	// calibrates them on first use (see internal/tune). It overrides
 	// ForOpt, SeqThreshold and Tile for the kernels that consult it.
 	Tune *tune.Tuner
+	// Metrics, when non-nil, receives per-(kernel, level) invocation
+	// statistics from the fused kernels and the benchmark driver
+	// (internal/metrics). nil disables collection at the cost of one nil
+	// check per kernel invocation. Prefer AttachMetrics, which also wires
+	// the environment's own pool for worker busy-time accounting.
+	Metrics *metrics.Collector
+	// Trace, when non-nil, receives structured V-cycle events — level
+	// transitions, kernel spans, iteration markers, solve summaries — as
+	// JSON lines. nil disables tracing for free.
+	Trace *metrics.Tracer
 }
 
 // Default returns the environment of the paper's sequential measurements:
@@ -130,6 +141,20 @@ func Parallel(workers int) *Env {
 func (e *Env) Close() {
 	if e.Sched != nil && e.Sched != sched.Sequential {
 		e.Sched.Close()
+	}
+}
+
+// Observing reports whether any observability sink is attached.
+func (e *Env) Observing() bool { return e.Metrics != nil || e.Trace != nil }
+
+// AttachMetrics installs a collector on the environment and, when the
+// environment owns its pool, on the pool as well (per-worker busy time).
+// The shared Sequential pool is never mutated — other environments in the
+// process may be using it. AttachMetrics(nil) detaches both.
+func (e *Env) AttachMetrics(c *metrics.Collector) {
+	e.Metrics = c
+	if e.Sched != nil && e.Sched != sched.Sequential {
+		e.Sched.SetMetrics(c)
 	}
 }
 
