@@ -10,7 +10,11 @@
 //	mg -impl mpi   -class S -threads 4  # future-work: slab-decomposed MPI style
 //
 // It prints the timed-section duration, the final residual norms, and the
-// official NPB verification verdict.
+// official NPB verification verdict. -json replaces the human-readable
+// output with a single JSON object (implementation, class, threads, timed
+// seconds, Mop/s, norms, verification) for scripting:
+//
+//	mg -impl sac -class S -json | jq .verified
 //
 // Observability (SAC implementation only):
 //
@@ -23,6 +27,7 @@
 package main
 
 import (
+	"encoding/json"
 	"expvar"
 	"flag"
 	"fmt"
@@ -55,11 +60,16 @@ func main() {
 		quiet     = flag.Bool("quiet", false, "print only the verification verdict")
 		dump      = flag.String("dump", "", "write the solution grid to this file (binary, see internal/array)")
 		npb       = flag.Bool("npb", false, "print the canonical NPB result block")
+		jsonOut   = flag.Bool("json", false, "print the solve summary as a single JSON object (implies -quiet)")
 		withStats = flag.Bool("metrics", false, "collect per-(kernel, level) metrics (sac only) and print the table")
 		traceFile = flag.String("trace", "", "write a JSON-lines V-cycle event trace (sac only) to this file")
 		httpAddr  = flag.String("http", "", "serve expvar (/debug/vars, incl. mg.metrics) and pprof on this address while running")
 	)
 	flag.Parse()
+
+	if *jsonOut {
+		*quiet = true
+	}
 
 	class, err := nas.ClassByName(*className)
 	if err != nil {
@@ -239,6 +249,36 @@ func main() {
 	}
 
 	verified, known := class.Verify(rnm2)
+	if *jsonOut {
+		// One JSON object on stdout, for scripting. Mop/s is the NPB
+		// whole-benchmark throughput metric; verified is false for
+		// classes without a reference value (see known).
+		summary := struct {
+			Impl     string  `json:"impl"`
+			Class    string  `json:"class"`
+			Threads  int     `json:"threads"`
+			Seconds  float64 `json:"seconds"`
+			Mops     float64 `json:"mops"`
+			Rnm2     float64 `json:"rnm2"`
+			Rnmu     float64 `json:"rnmu"`
+			Verified bool    `json:"verified"`
+			Known    bool    `json:"known"`
+		}{
+			Impl: *implName, Class: string(class.Name), Threads: *threads,
+			Seconds: elapsed.Seconds(),
+			Mops:    class.FlopCount() / elapsed.Seconds() / 1e6,
+			Rnm2:    rnm2, Rnmu: rnmu,
+			Verified: known && verified, Known: known,
+		}
+		if err := json.NewEncoder(os.Stdout).Encode(summary); err != nil {
+			fmt.Fprintln(os.Stderr, "mg:", err)
+			os.Exit(1)
+		}
+		if known && !verified {
+			os.Exit(1)
+		}
+		return
+	}
 	if *npb {
 		// The report block the official NPB binaries print.
 		status := "UNVERIFIED"

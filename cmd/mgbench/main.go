@@ -30,12 +30,30 @@
 //
 // -cpuprofile/-memprofile wrap the selected figure's measurements with the
 // standard runtime/pprof collectors for kernel-level inspection.
+//
+// The performance regression lab lives under -fig perf: repeated-sample
+// benchmark snapshots (internal/perfstat statistics over the
+// internal/metrics per-kernel attribution) saved as versioned JSON
+// (internal/perfdb), and statistically gated comparisons:
+//
+//	mgbench -fig perf -classes S,W                      # snapshot to BENCH_<gitsha>.json
+//	mgbench -fig perf -classes S -snapshot a.json       # explicit output path
+//	mgbench -fig perf -classes S -baseline a.json       # compare; exit 1 on regression
+//	mgbench -fig perf -baseline a.json -threshold 0.25  # gate at 25% median slowdown
+//
+// A row regresses only when the Mann-Whitney U test rejects "same
+// distribution" at -alpha AND the median moved by at least -threshold
+// relative and 20µs absolute — see internal/perfstat for why both guards
+// exist. The comparison table attributes an end-to-end delta to the
+// (kernel, level) rows that moved; CI runs this against the checked-in
+// BENCH_baseline.json on every push (see .github/workflows/ci.yml).
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"reflect"
 	"runtime"
 	"runtime/pprof"
@@ -45,6 +63,8 @@ import (
 	"repro/internal/harness"
 	"repro/internal/metrics"
 	"repro/internal/nas"
+	"repro/internal/perfdb"
+	"repro/internal/perfstat"
 	"repro/internal/smp"
 	"repro/internal/tune"
 	wl "repro/internal/withloop"
@@ -52,7 +72,7 @@ import (
 
 func main() {
 	var (
-		fig         = flag.String("fig", "all", "figure to regenerate: 11, 12, 13, mpi, codesize, tune or all")
+		fig         = flag.String("fig", "all", "figure to regenerate: 11, 12, 13, mpi, codesize, tune, perf or all")
 		classes     = flag.String("classes", "S,W", "comma-separated size classes (paper: W,A)")
 		repeats     = flag.Int("repeats", 3, "repetitions per Fig. 11 measurement (best reported)")
 		procs       = flag.Int("procs", 10, "simulated processor count for Figs. 12/13")
@@ -64,6 +84,12 @@ func main() {
 		memProfile  = flag.String("memprofile", "", "write a heap profile taken after the measurements to this file")
 		showMetrics = flag.Bool("metrics", false, "collect per-(kernel, level) metrics in the SAC runs and print the table afterwards")
 		traceFile   = flag.String("trace", "", "write a JSON-lines V-cycle event trace of the SAC runs to this file")
+		snapshotOut = flag.String("snapshot", "", "-fig perf: write the benchmark snapshot here (default BENCH_<gitsha>.json)")
+		baseline    = flag.String("baseline", "", "-fig perf: compare the fresh snapshot against this baseline and exit 1 on a significant regression")
+		threshold   = flag.Float64("threshold", 0.25, "-fig perf: minimum relative median change that counts (0.25 = 25%; tighten on quiet dedicated hardware)")
+		alpha       = flag.Float64("alpha", 0.01, "-fig perf: Mann-Whitney significance level of the regression test")
+		samples     = flag.Int("samples", 10, "-fig perf: recorded solves per (implementation, class)")
+		warmup      = flag.Int("warmup", 2, "-fig perf: discarded warm-up solves per (implementation, class)")
 	)
 	flag.Parse()
 
@@ -193,6 +219,16 @@ func main() {
 			fmt.Fprintln(os.Stderr, "mgbench:", err)
 			os.Exit(1)
 		}
+	case "perf":
+		regressed, err := runPerf(out, classList, *repo, *snapshotOut, *baseline, *samples, *warmup, *alpha, *threshold)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mgbench:", err)
+			os.Exit(1)
+		}
+		if regressed {
+			fmt.Fprintln(os.Stderr, "mgbench: performance regression against", *baseline)
+			os.Exit(1)
+		}
 	case "all":
 		harness.RunFig11(out, classList, *repeats)
 		series := harness.RunFig12(out, classList, machine)
@@ -207,6 +243,38 @@ func main() {
 		fmt.Fprintln(os.Stderr, "mgbench: unknown -fig", *fig)
 		os.Exit(2)
 	}
+}
+
+// runPerf takes a statistical benchmark snapshot (harness.RunPerf),
+// saves it (default: BENCH_<gitsha>.json in the repository root), and —
+// when a baseline is given — prints the row-by-row comparison and
+// reports whether any row regressed significantly.
+func runPerf(out *os.File, classList []nas.Class, repoDir, snapshotOut, baseline string, samples, warmup int, alpha, threshold float64) (regressed bool, err error) {
+	snap, err := harness.RunPerf(out, classList, harness.PerfConfig{
+		Samples: samples, Warmup: warmup, RepoDir: repoDir,
+	})
+	if err != nil {
+		return false, err
+	}
+	path := snapshotOut
+	if path == "" {
+		path = filepath.Join(repoDir, fmt.Sprintf("BENCH_%s.json", snap.Git.ShortSHA()))
+	}
+	if err := snap.Save(path); err != nil {
+		return false, err
+	}
+	fmt.Fprintf(out, "snapshot saved to %s (%d rows)\n", path, len(snap.Rows))
+	if baseline == "" {
+		return false, nil
+	}
+	base, err := perfdb.Load(baseline)
+	if err != nil {
+		return false, err
+	}
+	cmp := perfdb.Compare(base, snap, perfstat.Thresholds{Alpha: alpha, MinRel: threshold})
+	fmt.Fprintln(out)
+	cmp.WriteTable(out)
+	return cmp.HasRegression(), nil
 }
 
 // runTune calibrates one tuner per class and, when planPath is set, saves

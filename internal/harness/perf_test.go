@@ -1,0 +1,73 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/nas"
+	"repro/internal/perfdb"
+	"repro/internal/perfstat"
+)
+
+func TestRunPerfSnapshot(t *testing.T) {
+	class, err := nas.ClassByName("S")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	snap, err := RunPerf(&sb, []nas.Class{class}, PerfConfig{Samples: 4, Warmup: 1, RepoDir: "../.."})
+	if err != nil {
+		t.Fatalf("RunPerf: %v", err)
+	}
+	if err := snap.Validate(); err != nil {
+		t.Fatalf("snapshot invalid: %v", err)
+	}
+
+	// All three implementations contribute a whole-benchmark row, and the
+	// SAC side is attributed to its fused kernels.
+	want := []perfdb.Key{
+		{Impl: "SAC", Class: "S", Kernel: perfdb.TotalKernel, Level: class.LT()},
+		{Impl: "F77", Class: "S", Kernel: perfdb.TotalKernel, Level: class.LT()},
+		{Impl: "C/OpenMP", Class: "S", Kernel: perfdb.TotalKernel, Level: class.LT()},
+	}
+	rows := map[perfdb.Key]perfdb.Row{}
+	sawSubRelax := false
+	for _, r := range snap.Rows {
+		rows[r.Key()] = r
+		if r.Impl == "SAC" && r.Kernel == "subRelax" {
+			sawSubRelax = true
+		}
+		if len(r.Samples) != 4 {
+			t.Errorf("row %s has %d samples, want 4", r.Key(), len(r.Samples))
+		}
+	}
+	for _, key := range want {
+		if _, ok := rows[key]; !ok {
+			t.Errorf("snapshot missing row %s", key)
+		}
+	}
+	if !sawSubRelax {
+		t.Error("snapshot has no SAC subRelax kernel rows")
+	}
+
+	// The SAC solve row carries the NPB-derived throughput columns.
+	solve := rows[want[0]]
+	if solve.Points == 0 || solve.GFLOPS <= 0 {
+		t.Errorf("SAC solve row lacks derived throughput: %+v", solve)
+	}
+
+	// A snapshot compared against itself never alarms.
+	cmp := perfdb.Compare(snap, snap, perfstat.Thresholds{Alpha: 0.01, MinRel: 0.10})
+	if cmp.HasRegression() {
+		t.Error("self-comparison reports a regression")
+	}
+	for _, r := range cmp.Rows {
+		if r.Verdict != perfstat.Indistinguishable {
+			t.Errorf("self-comparison row %s verdict %v", r.Key, r.Verdict)
+		}
+	}
+
+	if !strings.Contains(sb.String(), "Benchmark snapshot") {
+		t.Errorf("report header missing:\n%s", sb.String())
+	}
+}

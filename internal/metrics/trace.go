@@ -41,14 +41,18 @@ type Event struct {
 // Tracer writes Events as JSON lines. A nil *Tracer is the disabled
 // tracer: Emit is a no-op costing one nil check and no allocations.
 // A Tracer is safe for concurrent use; the first encoding error sticks
-// and suppresses further output (check Err or Close).
+// and suppresses further output (check Err or Close). Close is
+// idempotent — the first call flushes and seals the stream, repeated
+// calls return the same verdict, and events emitted after Close are
+// dropped rather than written to a writer the caller may have closed.
 type Tracer struct {
-	mu    sync.Mutex
-	bw    *bufio.Writer
-	enc   *json.Encoder
-	start time.Time
-	n     int
-	err   error
+	mu     sync.Mutex
+	bw     *bufio.Writer
+	enc    *json.Encoder
+	start  time.Time
+	n      int
+	err    error
+	closed bool
 }
 
 // NewTracer creates a tracer writing to w. The stream is buffered; call
@@ -60,13 +64,14 @@ func NewTracer(w io.Writer) *Tracer {
 }
 
 // Emit writes one event, stamping its T with the time since the tracer
-// was created. Emit on a nil tracer is a no-op.
+// was created. Emit on a nil tracer is a no-op, as is Emit after Close
+// (late events from defers on error paths are dropped, not written).
 func (t *Tracer) Emit(e Event) {
 	if t == nil {
 		return
 	}
 	t.mu.Lock()
-	if t.err == nil {
+	if t.err == nil && !t.closed {
 		e.T = int64(time.Since(t.start))
 		if err := t.enc.Encode(e); err != nil {
 			t.err = err
@@ -87,13 +92,21 @@ func (t *Tracer) Events() int {
 	return t.n
 }
 
-// Flush drains the buffer and returns the first error seen.
+// Flush drains the buffer and returns the first error seen. Flush after
+// Close reports the sealed verdict without touching the writer.
 func (t *Tracer) Flush() error {
 	if t == nil {
 		return nil
 	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	return t.flushLocked()
+}
+
+func (t *Tracer) flushLocked() error {
+	if t.closed {
+		return t.err
+	}
 	if err := t.bw.Flush(); err != nil && t.err == nil {
 		t.err = err
 	}
@@ -110,5 +123,19 @@ func (t *Tracer) Err() error {
 	return t.err
 }
 
-// Close flushes the stream. It does not close the underlying writer.
-func (t *Tracer) Close() error { return t.Flush() }
+// Close flushes and seals the stream; it does not close the underlying
+// writer. Close is idempotent: the first call does the flush (and on an
+// error path records the flush error), every later call returns the
+// same verdict without re-touching the writer — so paired defers in
+// both a helper and its caller are safe, even when the writer has been
+// closed in between.
+func (t *Tracer) Close() error {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	err := t.flushLocked()
+	t.closed = true
+	return err
+}
