@@ -18,6 +18,7 @@ import (
 	"repro/internal/cport"
 	"repro/internal/f77"
 	"repro/internal/harness"
+	"repro/internal/health"
 	"repro/internal/mempool"
 	"repro/internal/metrics"
 	"repro/internal/nas"
@@ -327,5 +328,23 @@ func BenchmarkMetricsEnabled(b *testing.B) {
 	b.StopTimer()
 	if err := env.Trace.Close(); err != nil {
 		b.Fatal(err)
+	}
+}
+
+// BenchmarkHealthEnabled runs the class-S solve with only the
+// convergence-health monitor attached: the residual fold, the strided
+// NaN guards and the per-iteration bookkeeping. Compare against
+// BenchmarkMetricsDisabled to bound the monitor's overhead; a nil
+// monitor is the disabled baseline and adds nothing (asserted
+// allocation-free in internal/health).
+func BenchmarkHealthEnabled(b *testing.B) {
+	env := wl.Default()
+	defer env.Close()
+	env.Health = health.New(health.Config{})
+	bench := core.NewBenchmark(nas.ClassS, env)
+	bench.Reset()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bench.Solve()
 	}
 }

@@ -20,15 +20,24 @@
 //
 //	mg -impl sac -class S -metrics              # per-(kernel, level) table
 //	mg -impl sac -class S -trace run.jsonl      # JSON-lines V-cycle trace
-//	mg -impl sac -class A -http :8080           # expvar + pprof while solving
+//	mg -impl sac -class S -health               # convergence-health verdict
+//	mg -impl sac -class A -http :8080           # expvar + pprof + /metrics
 //
-// -http serves the standard net/http/pprof handlers plus an "mg.metrics"
-// expvar variable holding the live metrics snapshot as JSON.
+// -http serves the standard net/http/pprof handlers, an "mg.metrics"
+// expvar variable holding the live metrics snapshot as JSON, and a
+// Prometheus text-format /metrics endpoint (kernel counters, duration
+// histograms and the mg_health_* series). -health attaches the runtime
+// convergence monitor (internal/health): per-iteration residual
+// contraction tracking, sampled NaN/Inf guards and worker-imbalance
+// gauges, summarized as a healthy/stalled/diverging verdict. -json runs
+// also carry the monitor and report it in the summary's "health" block.
+// All of these flags share one collector/tracer/monitor set, so every
+// exposition path describes the same run (-impl mpi additionally feeds
+// the tracer rank-tagged V-cycle spans).
 package main
 
 import (
 	"encoding/json"
-	"expvar"
 	"flag"
 	"fmt"
 	"net"
@@ -42,6 +51,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/cport"
 	"repro/internal/f77"
+	"repro/internal/health"
 	"repro/internal/metrics"
 	"repro/internal/mgmpi"
 	"repro/internal/nas"
@@ -52,18 +62,19 @@ import (
 
 func main() {
 	var (
-		implName  = flag.String("impl", "sac", "implementation: sac, f77, c, periodic or mpi")
-		className = flag.String("class", "S", "NPB size class: S, W, A, B or C")
-		threads   = flag.Int("threads", 1, "worker count (1 = sequential)")
-		mode      = flag.String("mode", "fullpar", "f77 parallelization mode: serial, autopar or fullpar")
-		opt       = flag.Int("opt", 3, "SAC optimization level 0-3")
-		quiet     = flag.Bool("quiet", false, "print only the verification verdict")
-		dump      = flag.String("dump", "", "write the solution grid to this file (binary, see internal/array)")
-		npb       = flag.Bool("npb", false, "print the canonical NPB result block")
-		jsonOut   = flag.Bool("json", false, "print the solve summary as a single JSON object (implies -quiet)")
-		withStats = flag.Bool("metrics", false, "collect per-(kernel, level) metrics (sac only) and print the table")
-		traceFile = flag.String("trace", "", "write a JSON-lines V-cycle event trace (sac only) to this file")
-		httpAddr  = flag.String("http", "", "serve expvar (/debug/vars, incl. mg.metrics) and pprof on this address while running")
+		implName   = flag.String("impl", "sac", "implementation: sac, f77, c, periodic or mpi")
+		className  = flag.String("class", "S", "NPB size class: S, W, A, B or C")
+		threads    = flag.Int("threads", 1, "worker count (1 = sequential)")
+		mode       = flag.String("mode", "fullpar", "f77 parallelization mode: serial, autopar or fullpar")
+		opt        = flag.Int("opt", 3, "SAC optimization level 0-3")
+		quiet      = flag.Bool("quiet", false, "print only the verification verdict")
+		dump       = flag.String("dump", "", "write the solution grid to this file (binary, see internal/array)")
+		npb        = flag.Bool("npb", false, "print the canonical NPB result block")
+		jsonOut    = flag.Bool("json", false, "print the solve summary as a single JSON object (implies -quiet)")
+		withStats  = flag.Bool("metrics", false, "collect per-(kernel, level) metrics (sac only) and print the table")
+		traceFile  = flag.String("trace", "", "write a JSON-lines V-cycle event trace (sac and mpi) to this file")
+		httpAddr   = flag.String("http", "", "serve expvar (/debug/vars, incl. mg.metrics), pprof and Prometheus /metrics on this address while running")
+		withHealth = flag.Bool("health", false, "monitor convergence health (sac only) and print the verdict")
 	)
 	flag.Parse()
 
@@ -77,10 +88,17 @@ func main() {
 		os.Exit(2)
 	}
 
-	var collector *metrics.Collector
-	var tracer *metrics.Tracer
-	if *withStats || *httpAddr != "" {
-		collector = metrics.NewCollector(max(*threads, runtime.GOMAXPROCS(0)))
+	// One shared sink set for every flag combination (see obs.go). The
+	// health monitor rides along with -json and -http runs so the summary
+	// block and /metrics endpoint are populated; it is sac-only, like the
+	// metrics collector.
+	o := &obs{}
+	healthOn := *withHealth || *jsonOut || *httpAddr != ""
+	if *withStats || *httpAddr != "" || (healthOn && *implName == "sac") {
+		o.collector = metrics.NewCollector(max(*threads, runtime.GOMAXPROCS(0)))
+	}
+	if healthOn && *implName == "sac" {
+		o.monitor = health.New(health.Config{})
 	}
 	if *traceFile != "" {
 		f, err := os.Create(*traceFile)
@@ -88,18 +106,17 @@ func main() {
 			fmt.Fprintln(os.Stderr, "mg:", err)
 			os.Exit(1)
 		}
-		tracer = metrics.NewTracer(f)
+		o.tracer = metrics.NewTracer(f)
 		defer func() {
-			if err := tracer.Close(); err != nil {
+			if err := o.tracer.Close(); err != nil {
 				fmt.Fprintln(os.Stderr, "mg: trace:", err)
 			}
 			f.Close()
 		}()
 	}
 	if *httpAddr != "" {
-		// The snapshot merges the shards on demand, so the endpoint sees
-		// live counters mid-solve.
-		expvar.Publish("mg.metrics", expvar.Func(func() any { return collector.Snapshot() }))
+		publishMetricsVar(o.collector)
+		http.HandleFunc("/metrics", promHandler(o))
 		ln, err := net.Listen("tcp", *httpAddr)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "mg:", err)
@@ -107,7 +124,7 @@ func main() {
 		}
 		defer ln.Close()
 		if !*quiet {
-			fmt.Printf("serving expvar/pprof on http://%s/debug/vars\n", ln.Addr())
+			fmt.Printf("serving expvar/pprof/metrics on http://%s/\n", ln.Addr())
 		}
 		go http.Serve(ln, nil)
 	}
@@ -130,10 +147,7 @@ func main() {
 			os.Exit(2)
 		}
 		env.Opt = wl.OptLevel(*opt)
-		if collector != nil {
-			env.AttachMetrics(collector)
-		}
-		env.Trace = tracer
+		o.attach(env)
 		b := core.NewBenchmark(class, env)
 		b.Reset()
 		start := time.Now()
@@ -142,7 +156,10 @@ func main() {
 		solution = b.U()
 		env.Close()
 		if *withStats {
-			collector.Snapshot().WriteReport(os.Stdout, core.KernelCosts)
+			o.snapshot().WriteReport(os.Stdout, core.KernelCosts)
+		}
+		if *withHealth && !*quiet {
+			o.healthReport().WriteText(os.Stdout)
 		}
 	case "f77":
 		var pool *sched.Pool
@@ -210,6 +227,7 @@ func main() {
 		env.Close()
 	case "mpi":
 		s := mgmpi.New(class, *threads)
+		s.Trace = o.tracer
 		start := time.Now()
 		rnm2, rnmu = s.Run()
 		elapsed = time.Since(start)
@@ -254,21 +272,23 @@ func main() {
 		// whole-benchmark throughput metric; verified is false for
 		// classes without a reference value (see known).
 		summary := struct {
-			Impl     string  `json:"impl"`
-			Class    string  `json:"class"`
-			Threads  int     `json:"threads"`
-			Seconds  float64 `json:"seconds"`
-			Mops     float64 `json:"mops"`
-			Rnm2     float64 `json:"rnm2"`
-			Rnmu     float64 `json:"rnmu"`
-			Verified bool    `json:"verified"`
-			Known    bool    `json:"known"`
+			Impl     string        `json:"impl"`
+			Class    string        `json:"class"`
+			Threads  int           `json:"threads"`
+			Seconds  float64       `json:"seconds"`
+			Mops     float64       `json:"mops"`
+			Rnm2     float64       `json:"rnm2"`
+			Rnmu     float64       `json:"rnmu"`
+			Verified bool          `json:"verified"`
+			Known    bool          `json:"known"`
+			Health   health.Report `json:"health"`
 		}{
 			Impl: *implName, Class: string(class.Name), Threads: *threads,
 			Seconds: elapsed.Seconds(),
 			Mops:    class.FlopCount() / elapsed.Seconds() / 1e6,
 			Rnm2:    rnm2, Rnmu: rnmu,
 			Verified: known && verified, Known: known,
+			Health: o.healthReport(),
 		}
 		if err := json.NewEncoder(os.Stdout).Encode(summary); err != nil {
 			fmt.Fprintln(os.Stderr, "mg:", err)

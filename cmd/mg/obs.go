@@ -1,0 +1,88 @@
+package main
+
+import (
+	"expvar"
+	"net/http"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/health"
+	"repro/internal/metrics"
+	wl "repro/internal/withloop"
+)
+
+// obs bundles the observability sinks that the -metrics, -trace, -http,
+// -health and -json flags share. Every flag combination works against the
+// same collector/tracer/monitor instances, so the expvar variable, the
+// /metrics Prometheus endpoint, the printed report and the JSON summary
+// all describe the same run. (Previously each consumer wired its own
+// view; the scheduler pool in particular never saw the tracer, so traces
+// were missing the per-worker spans.)
+type obs struct {
+	collector *metrics.Collector
+	tracer    *metrics.Tracer
+	monitor   *health.Monitor
+}
+
+// attach installs the sinks on a SAC environment. Nil fields are no-ops;
+// the Attach helpers also wire the environment's scheduler pool so worker
+// busy accounting and "wspan" trace events flow into the same instances.
+func (o *obs) attach(env *wl.Env) {
+	if o.collector != nil {
+		env.AttachMetrics(o.collector)
+	}
+	if o.tracer != nil {
+		env.AttachTrace(o.tracer)
+	}
+	env.Health = o.monitor
+}
+
+// snapshot returns the collector's merged counters (a zero Snapshot when
+// metrics are off, which the health report tolerates).
+func (o *obs) snapshot() metrics.Snapshot {
+	if o.collector == nil {
+		return metrics.Snapshot{}
+	}
+	return o.collector.Snapshot()
+}
+
+// healthReport is the run's convergence-health summary (verdict
+// "disabled" when no monitor was attached).
+func (o *obs) healthReport() health.Report {
+	return o.monitor.Report(o.snapshot())
+}
+
+// promHandler serves the Prometheus text-format exposition (0.0.4) of
+// the shared collector and health monitor.
+func promHandler(o *obs) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		snap := o.snapshot()
+		snap.WritePrometheus(w, core.KernelCosts)
+		o.monitor.Report(snap).WritePrometheus(w)
+	}
+}
+
+// The "mg.metrics" expvar reads through this pointer so the variable can
+// be registered exactly once per process (expvar panics on duplicates)
+// while tests re-point it at fresh collectors.
+var (
+	expvarCollector atomic.Pointer[metrics.Collector]
+	expvarOnce      sync.Once
+)
+
+// publishMetricsVar exposes the collector's live snapshot as the
+// "mg.metrics" expvar. The snapshot merges the shards on demand, so the
+// endpoint sees live counters mid-solve.
+func publishMetricsVar(c *metrics.Collector) {
+	expvarCollector.Store(c)
+	expvarOnce.Do(func() {
+		expvar.Publish("mg.metrics", expvar.Func(func() any {
+			if c := expvarCollector.Load(); c != nil {
+				return c.Snapshot()
+			}
+			return metrics.Snapshot{}
+		}))
+	})
+}

@@ -28,6 +28,10 @@
 // transitions, kernel spans, iteration markers, tuner plan decisions and
 // solve summaries, one JSON object per line (schema: DESIGN.md §3.2).
 //
+// -fig health runs each class once under the convergence-health monitor
+// (internal/health) and prints the verdict/rate/imbalance table — kept
+// out of the timed figures so monitoring never perturbs them.
+//
 // -cpuprofile/-memprofile wrap the selected figure's measurements with the
 // standard runtime/pprof collectors for kernel-level inspection.
 //
@@ -72,12 +76,12 @@ import (
 
 func main() {
 	var (
-		fig         = flag.String("fig", "all", "figure to regenerate: 11, 12, 13, mpi, codesize, tune, perf or all")
+		fig         = flag.String("fig", "all", "figure to regenerate: 11, 12, 13, mpi, codesize, tune, perf, health or all")
 		classes     = flag.String("classes", "S,W", "comma-separated size classes (paper: W,A)")
 		repeats     = flag.Int("repeats", 3, "repetitions per Fig. 11 measurement (best reported)")
 		procs       = flag.Int("procs", 10, "simulated processor count for Figs. 12/13")
 		repo        = flag.String("repo", ".", "repository root (for -fig codesize)")
-		workers     = flag.Int("workers", 0, "worker count for -fig tune calibration (0 = GOMAXPROCS)")
+		workers     = flag.Int("workers", 0, "worker count for -fig tune calibration and -fig health (0 = GOMAXPROCS)")
 		maxSolves   = flag.Int("maxsolves", 50, "calibration solve budget per class for -fig tune")
 		tunePlan    = flag.String("tuneplan", "", "autotuner plan file: -fig tune writes it, other figures run the SAC implementation under it")
 		cpuProfile  = flag.String("cpuprofile", "", "write a CPU profile of the measurements to this file")
@@ -153,7 +157,7 @@ func main() {
 		harness.SACEnv = func() *wl.Env {
 			e := prev()
 			e.AttachMetrics(collector)
-			e.Trace = tracer
+			e.AttachTrace(tracer)
 			return e
 		}
 		defer func() {
@@ -219,6 +223,8 @@ func main() {
 			fmt.Fprintln(os.Stderr, "mgbench:", err)
 			os.Exit(1)
 		}
+	case "health":
+		harness.RunHealth(out, classList, *workers)
 	case "perf":
 		regressed, err := runPerf(out, classList, *repo, *snapshotOut, *baseline, *samples, *warmup, *alpha, *threshold)
 		if err != nil {

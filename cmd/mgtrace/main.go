@@ -1,0 +1,122 @@
+// Command mgtrace analyses the JSON-lines V-cycle traces that cmd/mg,
+// cmd/mgbench and the mgmpi solver write (-trace run.jsonl; schema:
+// DESIGN.md §3.2):
+//
+//	mgtrace run.jsonl                     # per-(kernel, level) span summary
+//	mgtrace -json run.jsonl               # the same summary as one JSON object
+//	mgtrace -perfetto out.json run.jsonl  # Chrome trace-event / Perfetto JSON
+//	mgtrace rank0.jsonl rank1.jsonl       # merge multiple (rank-tagged) traces
+//
+// The text summary aggregates kernel spans per (rank, kernel, level) with
+// the critical path (the slowest rank's span total) and rank/worker
+// imbalance ratios. -perfetto converts the stream to the Chrome
+// trace-event format: one process per rank, with a solve track, one track
+// per grid level and one per scheduler worker, loadable in Perfetto
+// (ui.perfetto.dev) or chrome://tracing. Multiple input files are
+// concatenated before analysis, so per-rank trace files from an mgmpi run
+// merge into a single timeline.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/metrics"
+)
+
+func main() {
+	var (
+		perfetto = flag.String("perfetto", "", "write Chrome trace-event / Perfetto JSON to this file ('-' for stdout)")
+		jsonOut  = flag.Bool("json", false, "print the summary as a single JSON object instead of text")
+	)
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: mgtrace [flags] trace.jsonl [more.jsonl ...]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	events, err := readTraces(flag.Args())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mgtrace:", err)
+		os.Exit(1)
+	}
+	if len(events) == 0 {
+		fmt.Fprintln(os.Stderr, "mgtrace: no events in input")
+		os.Exit(1)
+	}
+
+	if *perfetto != "" {
+		if err := writePerfetto(*perfetto, events); err != nil {
+			fmt.Fprintln(os.Stderr, "mgtrace:", err)
+			os.Exit(1)
+		}
+		if *perfetto != "-" {
+			fmt.Printf("%d events -> %s (open in ui.perfetto.dev or chrome://tracing)\n",
+				len(events), *perfetto)
+		}
+		return
+	}
+
+	sum := metrics.Summarize(events)
+	if *jsonOut {
+		if err := json.NewEncoder(os.Stdout).Encode(sum); err != nil {
+			fmt.Fprintln(os.Stderr, "mgtrace:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	sum.WriteText(os.Stdout)
+}
+
+// readTraces reads and concatenates the JSON-lines event streams, in
+// argument order (rank tags, not file order, distinguish ranks).
+func readTraces(paths []string) ([]metrics.Event, error) {
+	var events []metrics.Event
+	for _, path := range paths {
+		var r io.Reader
+		if path == "-" {
+			r = os.Stdin
+		} else {
+			f, err := os.Open(path)
+			if err != nil {
+				return nil, err
+			}
+			defer f.Close()
+			r = f
+		}
+		evs, err := metrics.ReadEvents(r)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", path, err)
+		}
+		events = append(events, evs...)
+	}
+	return events, nil
+}
+
+// writePerfetto converts the events to Chrome trace-event JSON, validates
+// the result against the schema the loaders expect, and writes it.
+func writePerfetto(path string, events []metrics.Event) error {
+	ct := metrics.ChromeTraceFrom(events)
+	if err := ct.Validate(); err != nil {
+		return fmt.Errorf("conversion produced invalid trace: %w", err)
+	}
+	w := os.Stdout
+	if path != "-" {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(ct)
+}

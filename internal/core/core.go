@@ -151,7 +151,7 @@ func (s *Solver) residSubtract(v, u *array.Array) *array.Array {
 	if s.foldable(u) {
 		return s.probe("resid", u, func() *array.Array {
 			ub := s.SetupPeriodicBorder(u)
-			out := subRelax(e, v, ub, s.Operator)
+			out := s.subRelaxObserved(v, ub)
 			s.releaseIfCopy(ub, u)
 			return out
 		})

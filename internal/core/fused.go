@@ -114,21 +114,22 @@ func kernelClock(e *wl.Env) (t time.Time) {
 
 // forPlanes partitions the interior planes [1, n0-1) of a rank-3 grid
 // across the environment's workers under the (kernel, level) plan, passing
-// the plan's tile edge to the body. With a collector attached the
-// invocation is recorded under (kernel, level) as the time since started
-// (the caller's kernelClock, taken before it allocated the output);
-// without one the only extra cost is a nil check.
-func forPlanes(e *wl.Env, kernel string, started time.Time, n0, perPlane int, body func(lo, hi, tile int)) {
+// the plan's tile edge to the body. od is the kernel's output storage:
+// with a health monitor attached it gets the sampled NaN/Inf guard
+// (observe.go) after the sweep — inside the timed window but after the
+// tuner commit, so calibration timings stay clean. With a collector
+// attached the invocation is recorded under (kernel, level) as the time
+// since started (the caller's kernelClock, taken before it allocated the
+// output); without any sink the only extra cost is two nil checks.
+func forPlanes(e *wl.Env, kernel string, started time.Time, n0, perPlane int, od []float64, body func(lo, hi, tile int)) {
 	level := levelOfExtent(n0 - 2)
 	opts, tile, commit := e.PlanFor(kernel, level, perPlane)
-	if m := e.Metrics; m != nil {
-		e.Sched.For(n0-2, opts, func(lo, hi, _ int) { body(lo+1, hi+1, tile) })
-		commit()
-		m.Record(0, kernel, level, int64(n0-2)*int64(perPlane), time.Since(started))
-		return
-	}
 	e.Sched.For(n0-2, opts, func(lo, hi, _ int) { body(lo+1, hi+1, tile) })
 	commit()
+	healthSample(e, kernel, level, od)
+	if m := e.Metrics; m != nil {
+		m.Record(0, kernel, level, int64(n0-2)*int64(perPlane), time.Since(started))
+	}
 }
 
 // KernelCosts is the per-point work model of the fused kernels, feeding
@@ -170,7 +171,7 @@ func subRelax(e *wl.Env, v, u *array.Array, c stencil.Coeffs) *array.Array {
 	out := e.NewArrayDirty(shp)
 	od, vd, ud := out.Data(), v.Data(), u.Data()
 	copyBorders(od, vd, n0, n1, n2)
-	forPlanes(e, "subRelax", started, n0, (n1-2)*(n2-2), func(lo, hi, tile int) {
+	forPlanes(e, "subRelax", started, n0, (n1-2)*(n2-2), od, func(lo, hi, tile int) {
 		for i := lo; i < hi; i++ {
 			subRelaxPlane(od, vd, ud, n1, n2, i, tile, c)
 		}
@@ -243,7 +244,7 @@ func subRelaxNorm(e *wl.Env, v, u *array.Array, c stencil.Coeffs) (out *array.Ar
 	copyBorders(od, vd, n0, n1, n2)
 	sums := make([]float64, n0)
 	maxs := make([]float64, n0)
-	forPlanes(e, "subRelax", started, n0, (n1-2)*(n2-2), func(lo, hi, tile int) {
+	forPlanes(e, "subRelax", started, n0, (n1-2)*(n2-2), od, func(lo, hi, tile int) {
 		rowSum := make([]float64, tileOr(tile, n1-2))
 		for i := lo; i < hi; i++ {
 			sums[i], maxs[i] = subRelaxNormPlane(od, vd, ud, n1, n2, i, tile, c, rowSum)
@@ -330,7 +331,7 @@ func addRelax(e *wl.Env, z, r *array.Array, c stencil.Coeffs) *array.Array {
 	out := e.NewArrayDirty(shp)
 	od, zd, rd := out.Data(), z.Data(), r.Data()
 	copyBorders(od, zd, n0, n1, n2)
-	forPlanes(e, "addRelax", started, n0, (n1-2)*(n2-2), func(lo, hi, tile int) {
+	forPlanes(e, "addRelax", started, n0, (n1-2)*(n2-2), od, func(lo, hi, tile int) {
 		for i := lo; i < hi; i++ {
 			addRelaxPlane(od, zd, nil, rd, n1, n2, i, tile, c)
 		}
@@ -349,7 +350,7 @@ func addRelaxPlus(e *wl.Env, u, z, r *array.Array, c stencil.Coeffs) *array.Arra
 	out := e.NewArrayDirty(shp)
 	od, udat, zd, rd := out.Data(), u.Data(), z.Data(), r.Data()
 	addBorders(od, udat, zd, n0, n1, n2)
-	forPlanes(e, "addRelax", started, n0, (n1-2)*(n2-2), func(lo, hi, tile int) {
+	forPlanes(e, "addRelax", started, n0, (n1-2)*(n2-2), od, func(lo, hi, tile int) {
 		for i := lo; i < hi; i++ {
 			addRelaxPlane(od, zd, udat, rd, n1, n2, i, tile, c)
 		}
@@ -464,7 +465,7 @@ func projectCondense(e *wl.Env, r *array.Array, c stencil.Coeffs) *array.Array {
 	mo := mf/2 + 1
 	out := e.NewArray(shape.Of(mo, mo, mo))
 	od, rd := out.Data(), r.Data()
-	forPlanes(e, "projectCondense", started, mo, (mo-2)*(mo-2), func(lo, hi, tile int) {
+	forPlanes(e, "projectCondense", started, mo, (mo-2)*(mo-2), od, func(lo, hi, tile int) {
 		for jc := lo; jc < hi; jc++ {
 			projectCondensePlane(od, rd, mf, mo, jc, tile, c)
 		}
@@ -519,7 +520,7 @@ func interpolate(e *wl.Env, rn *array.Array, c stencil.Coeffs) *array.Array {
 	mf := 2*mc - 2
 	out := e.NewArray(shape.Of(mf, mf, mf))
 	od, zd := out.Data(), rn.Data()
-	forPlanes(e, "interpolate", started, mf, (mf-2)*(mf-2), func(lo, hi, tile int) {
+	forPlanes(e, "interpolate", started, mf, (mf-2)*(mf-2), od, func(lo, hi, tile int) {
 		for f3 := lo; f3 < hi; f3++ {
 			interpolatePlane(od, zd, mc, mf, f3, tile, c)
 		}

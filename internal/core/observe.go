@@ -13,12 +13,14 @@
 package core
 
 import (
+	"math"
 	"time"
 
 	"repro/internal/aplib"
 	"repro/internal/array"
 	"repro/internal/metrics"
 	"repro/internal/nas"
+	wl "repro/internal/withloop"
 )
 
 // levelOf computes log2(interior extent) of an extended grid.
@@ -64,10 +66,72 @@ func (s *Solver) newGuess(v *array.Array) *array.Array {
 	return aplib.GenarrayVal(e, v.Shape(), 0.0)
 }
 
-// traceIter marks the start of MGrid iteration i+1 in the event trace.
+// traceIter marks the start of MGrid iteration i+1 in the event trace and
+// advances the health monitor's iteration clock (iteration 1 starts a
+// fresh monitored run, so repeated solves on one environment work).
 func (s *Solver) traceIter(i int, v *array.Array) {
+	s.Env.Health.BeginIteration(i + 1)
 	if tr := s.Env.Trace; tr != nil {
 		tr.Emit(metrics.Event{Ev: "iter", Iter: i + 1, Level: levelOf(v)})
+	}
+}
+
+// subRelaxObserved is residSubtract's folded kernel dispatch with the
+// health monitor consulted: the first finest-grid residual of each MGrid
+// iteration — the convergence signal ‖v − A·u‖ — switches to subRelaxNorm,
+// which folds the NPB norm accumulation into the traversal it performs
+// anyway (bit-identical output grid, no extra pass), and feeds the
+// monitor's contraction tracking. Every other residual of the iteration
+// (the V-cycle interior) takes the plain folded kernel.
+func (s *Solver) subRelaxObserved(v, ub *array.Array) *array.Array {
+	e := s.Env
+	if h := e.Health; h.WantsResid() {
+		out, sumSq, maxAbs := subRelaxNorm(e, v, ub, s.Operator)
+		if f := testFaultNorm; f != nil {
+			sumSq = f(sumSq)
+		}
+		n := int64(out.Shape()[0] - 2)
+		h.ObserveResidual(levelOf(out), sumSq, maxAbs, n*n*n)
+		return out
+	}
+	return subRelax(e, v, ub, s.Operator)
+}
+
+// Test-only fault injection (core's health tests): testFaultGrid may
+// corrupt a kernel's output grid from inside the sampled guard window —
+// the written NaN lands in the real grid and propagates through the
+// stencils like a genuine corruption — and testFaultNorm may rewrite the
+// folded residual sum of squares to fake a stall. Both are nil outside
+// tests.
+var (
+	testFaultGrid func(kernel string, level int, data []float64)
+	testFaultNorm func(sumSq float64) float64
+)
+
+// healthSample is the fused kernels' NaN/Inf guard: a strided scan of the
+// output grid, called by forPlanes inside the kernel's timed window. At
+// the default stride of 1024 it touches a few dozen cache lines per
+// invocation — checking every point would double the kernel's memory
+// traffic — and still flags corruption within one iteration: NaNs spread
+// one halo per stencil application, and the per-iteration residual norm
+// is an every-point detector one iteration later at the latest.
+func healthSample(e *wl.Env, kernel string, level int, data []float64) {
+	h := e.Health
+	if h == nil {
+		return
+	}
+	if f := testFaultGrid; f != nil {
+		f(kernel, level, data)
+	}
+	stride := h.SampleStride()
+	if stride < 1 {
+		stride = 1
+	}
+	for i := 0; i < len(data); i += stride {
+		if v := data[i]; math.IsNaN(v) || math.IsInf(v, 0) {
+			h.ObserveNonFinite(kernel, level)
+			return
+		}
 	}
 }
 
@@ -113,5 +177,8 @@ func (b *Benchmark) observedSolve() (rnm2, rnmu float64) {
 		n*n*n*int64(b.Class.Iter+1), elapsed)
 	e.Trace.Emit(metrics.Event{Ev: "solve", Level: b.Class.LT(),
 		Nanos: int64(elapsed), Iter: b.Class.Iter, Rnm2: rnm2})
+	// The closing residual is one more contraction observation — and the
+	// norms are an every-point NaN check of the final grid.
+	e.Health.ObserveFinal(rnm2, rnmu)
 	return rnm2, rnmu
 }

@@ -1,0 +1,65 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+
+	"repro/internal/core"
+	"repro/internal/health"
+	"repro/internal/metrics"
+	"repro/internal/nas"
+	wl "repro/internal/withloop"
+)
+
+// HealthRow is the convergence-health summary of one instrumented solve.
+type HealthRow struct {
+	Class   nas.Class
+	Workers int
+	Rnm2    float64
+	Report  health.Report
+}
+
+// RunHealth runs one SAC solve per class with the convergence-health
+// monitor (and a metrics collector, for the worker-imbalance gauges)
+// attached and writes the verdict table to w. It deliberately does NOT
+// reuse RunFig11/RunPerf: those produce the timing numbers the perf gate
+// compares, and the monitor's residual fold and NaN sampling — cheap but
+// nonzero — must never perturb them.
+func RunHealth(w io.Writer, classes []nas.Class, workers int) []HealthRow {
+	if workers < 1 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	fmt.Fprintf(w, "Convergence health (SAC implementation, %d worker(s))\n", workers)
+	fmt.Fprintf(w, "%-22s %10s %12s %12s %10s %9s\n",
+		"class", "verdict", "rate", "expected", "imbalance", "verified")
+	var rows []HealthRow
+	for _, class := range classes {
+		collector := metrics.NewCollector(workers)
+		monitor := health.New(health.Config{})
+		var env *wl.Env
+		if workers > 1 {
+			env = wl.Parallel(workers)
+		} else {
+			env = SACEnv()
+		}
+		env.AttachMetrics(collector)
+		env.Health = monitor
+		b := core.NewBenchmark(class, env)
+		b.Reset()
+		rnm2, _ := b.Solve()
+		env.Close()
+
+		rep := monitor.Report(collector.Snapshot())
+		verified, known := class.Verify(rnm2)
+		status := "-"
+		if known {
+			status = fmt.Sprintf("%t", verified)
+		}
+		fmt.Fprintf(w, "%-22s %10s %12.4f %12.4f %10.3f %9s\n",
+			class, rep.Verdict, rep.ConvergenceRate, rep.ExpectedRate,
+			rep.WorkerImbalance, status)
+		rows = append(rows, HealthRow{Class: class, Workers: workers, Rnm2: rnm2, Report: rep})
+	}
+	return rows
+}

@@ -26,6 +26,7 @@ package metrics
 import (
 	"fmt"
 	"io"
+	"math/bits"
 	"sort"
 	"sync"
 	"time"
@@ -41,11 +42,37 @@ type Key struct {
 // String renders e.g. "subRelax@5".
 func (k Key) String() string { return fmt.Sprintf("%s@%d", k.Kernel, k.Level) }
 
+// HistBuckets is the number of log2 duration-histogram buckets per
+// (kernel, level): bucket i counts invocations with elapsed ≤ 1.024µs·2ⁱ
+// (see HistBound), the last bucket catching everything beyond ~8.6s —
+// comfortably past a class-C solve span. Power-of-two bounds make
+// bucketing a bit-length computation instead of a search, keeping the
+// enabled recording path cheap.
+const HistBuckets = 24
+
+// HistBound returns the upper bound of histogram bucket i in nanoseconds
+// (1024·2ⁱ); the final bucket is unbounded.
+func HistBound(i int) uint64 { return 1024 << uint(i) }
+
+// histBucket maps an invocation duration to its bucket index: the
+// smallest i with ns ≤ HistBound(i), clamped to the overflow bucket.
+func histBucket(ns uint64) int {
+	if ns <= 1024 {
+		return 0
+	}
+	b := bits.Len64(ns-1) - 10
+	if b >= HistBuckets {
+		return HistBuckets - 1
+	}
+	return b
+}
+
 // cell accumulates one (kernel, level) inside one shard.
 type cell struct {
 	invocations uint64
 	points      uint64
 	nanos       uint64
+	hist        [HistBuckets]uint64
 }
 
 // shard is the private accumulator of one worker. The mutex is uncontended
@@ -99,6 +126,7 @@ func (c *Collector) Record(worker int, kernel string, level int, points int64, e
 	cl.invocations++
 	cl.points += uint64(points)
 	cl.nanos += uint64(elapsed)
+	cl.hist[histBucket(uint64(elapsed))]++
 	s.mu.Unlock()
 }
 
@@ -130,13 +158,16 @@ func (c *Collector) Reset() {
 	}
 }
 
-// KernelStat is the merged statistic of one (kernel, level).
+// KernelStat is the merged statistic of one (kernel, level). Hist is the
+// per-bucket (non-cumulative) invocation-duration histogram; bucket i's
+// upper bound is HistBound(i) nanoseconds.
 type KernelStat struct {
-	Kernel      string `json:"kernel"`
-	Level       int    `json:"level"`
-	Invocations uint64 `json:"invocations"`
-	Points      uint64 `json:"points"`
-	Nanos       uint64 `json:"nanos"`
+	Kernel      string   `json:"kernel"`
+	Level       int      `json:"level"`
+	Invocations uint64   `json:"invocations"`
+	Points      uint64   `json:"points"`
+	Nanos       uint64   `json:"nanos"`
+	Hist        []uint64 `json:"hist,omitempty"`
 }
 
 // Seconds returns the accumulated wall time.
@@ -188,12 +219,16 @@ func (c *Collector) Snapshot() Snapshot {
 		for key, cl := range s.kernels {
 			m := merged[key]
 			if m == nil {
-				m = &KernelStat{Kernel: key.Kernel, Level: key.Level}
+				m = &KernelStat{Kernel: key.Kernel, Level: key.Level,
+					Hist: make([]uint64, HistBuckets)}
 				merged[key] = m
 			}
 			m.Invocations += cl.invocations
 			m.Points += cl.points
 			m.Nanos += cl.nanos
+			for b, n := range cl.hist {
+				m.Hist[b] += n
+			}
 		}
 		if s.loops > 0 {
 			snap.Workers = append(snap.Workers, WorkerStat{Worker: i, Loops: s.loops, BusyNanos: s.busy})

@@ -175,3 +175,25 @@ func BenchmarkRecordEnabled(b *testing.B) {
 		c.Record(0, "subRelax", 5, 1000, time.Microsecond)
 	}
 }
+
+// The coverage gauge must aggregate across levels and workers: rows from
+// different shards and grid levels all count against the one solve span.
+func TestCoverageAcrossWorkersAndLevels(t *testing.T) {
+	c := NewCollector(4)
+	c.Record(0, TotalKernel, 5, 1000, 100*time.Millisecond)
+	c.Record(0, "subRelax", 5, 400, 30*time.Millisecond)
+	c.Record(1, "subRelax", 4, 300, 20*time.Millisecond)
+	c.Record(2, "addRelax", 3, 200, 10*time.Millisecond)
+	c.Record(3, "interpolate", 2, 100, 20*time.Millisecond)
+	frac, ok := c.Snapshot().Coverage()
+	if !ok || frac < 0.799 || frac > 0.801 {
+		t.Fatalf("coverage = %v ok=%v, want 0.8", frac, ok)
+	}
+	// More than one solve span (repeated Solve calls) keeps the ratio.
+	c.Record(1, TotalKernel, 5, 1000, 100*time.Millisecond)
+	c.Record(0, "subRelax", 5, 400, 80*time.Millisecond)
+	frac, ok = c.Snapshot().Coverage()
+	if !ok || frac < 0.799 || frac > 0.801 {
+		t.Fatalf("coverage after second solve = %v ok=%v, want 0.8", frac, ok)
+	}
+}

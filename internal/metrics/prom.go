@@ -1,0 +1,269 @@
+// Prometheus text-format exposition (format version 0.0.4) of a metrics
+// snapshot, and a minimal parser of that format so the repository can
+// round-trip-test its own exposition without external dependencies.
+// cmd/mg serves WritePrometheus on /metrics next to expvar and pprof.
+package metrics
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus renders the snapshot as Prometheus text-format metrics:
+// per-(kernel, level) invocation/point/time counters, a duration
+// histogram from the collector's log2 buckets, derived GFLOP/s and
+// bandwidth gauges (for kernels with a cost model), the coverage ratio,
+// and per-worker scheduler counters. Label values are the kernel name and
+// the decimal grid level, so one series per (kernel, level) cell.
+func (s Snapshot) WritePrometheus(w io.Writer, costs map[string]Cost) {
+	fmt.Fprintln(w, "# HELP mg_kernel_invocations_total Fused-kernel invocations per (kernel, grid level).")
+	fmt.Fprintln(w, "# TYPE mg_kernel_invocations_total counter")
+	for _, k := range s.Kernels {
+		fmt.Fprintf(w, "mg_kernel_invocations_total{kernel=%q,level=\"%d\"} %d\n",
+			k.Kernel, k.Level, k.Invocations)
+	}
+	fmt.Fprintln(w, "# HELP mg_kernel_points_total Grid points processed per (kernel, grid level).")
+	fmt.Fprintln(w, "# TYPE mg_kernel_points_total counter")
+	for _, k := range s.Kernels {
+		fmt.Fprintf(w, "mg_kernel_points_total{kernel=%q,level=\"%d\"} %d\n",
+			k.Kernel, k.Level, k.Points)
+	}
+	fmt.Fprintln(w, "# HELP mg_kernel_seconds_total Wall time accumulated per (kernel, grid level).")
+	fmt.Fprintln(w, "# TYPE mg_kernel_seconds_total counter")
+	for _, k := range s.Kernels {
+		fmt.Fprintf(w, "mg_kernel_seconds_total{kernel=%q,level=\"%d\"} %g\n",
+			k.Kernel, k.Level, k.Seconds())
+	}
+	fmt.Fprintln(w, "# HELP mg_kernel_duration_seconds Invocation duration histogram per (kernel, grid level).")
+	fmt.Fprintln(w, "# TYPE mg_kernel_duration_seconds histogram")
+	for _, k := range s.Kernels {
+		var cum uint64
+		for b, n := range k.Hist {
+			cum += n
+			le := strconv.FormatFloat(float64(HistBound(b))/1e9, 'g', -1, 64)
+			if b == len(k.Hist)-1 {
+				le = "+Inf"
+			}
+			fmt.Fprintf(w, "mg_kernel_duration_seconds_bucket{kernel=%q,level=\"%d\",le=%q} %d\n",
+				k.Kernel, k.Level, le, cum)
+		}
+		fmt.Fprintf(w, "mg_kernel_duration_seconds_sum{kernel=%q,level=\"%d\"} %g\n",
+			k.Kernel, k.Level, k.Seconds())
+		fmt.Fprintf(w, "mg_kernel_duration_seconds_count{kernel=%q,level=\"%d\"} %d\n",
+			k.Kernel, k.Level, k.Invocations)
+	}
+	if costs != nil {
+		fmt.Fprintln(w, "# HELP mg_kernel_gflops Effective GFLOP/s per (kernel, grid level), from the per-point work model.")
+		fmt.Fprintln(w, "# TYPE mg_kernel_gflops gauge")
+		for _, k := range s.Kernels {
+			if cost, ok := costs[k.Kernel]; ok {
+				fmt.Fprintf(w, "mg_kernel_gflops{kernel=%q,level=\"%d\"} %g\n",
+					k.Kernel, k.Level, k.GFLOPS(cost.Flops))
+			}
+		}
+		fmt.Fprintln(w, "# HELP mg_kernel_gb_per_second Effective memory bandwidth per (kernel, grid level).")
+		fmt.Fprintln(w, "# TYPE mg_kernel_gb_per_second gauge")
+		for _, k := range s.Kernels {
+			if cost, ok := costs[k.Kernel]; ok {
+				fmt.Fprintf(w, "mg_kernel_gb_per_second{kernel=%q,level=\"%d\"} %g\n",
+					k.Kernel, k.Level, k.GBPerSec(cost.Bytes))
+			}
+		}
+	}
+	if frac, ok := s.Coverage(); ok {
+		fmt.Fprintln(w, "# HELP mg_kernel_coverage_ratio Fraction of solve time the per-kernel rows account for.")
+		fmt.Fprintln(w, "# TYPE mg_kernel_coverage_ratio gauge")
+		fmt.Fprintf(w, "mg_kernel_coverage_ratio %g\n", frac)
+	}
+	if len(s.Workers) > 0 {
+		fmt.Fprintln(w, "# HELP mg_worker_loops_total Parallel loop fan-outs each worker took part in.")
+		fmt.Fprintln(w, "# TYPE mg_worker_loops_total counter")
+		for _, ws := range s.Workers {
+			fmt.Fprintf(w, "mg_worker_loops_total{worker=\"%d\"} %d\n", ws.Worker, ws.Loops)
+		}
+		fmt.Fprintln(w, "# HELP mg_worker_busy_seconds_total Wall time each worker spent inside parallel loop bodies.")
+		fmt.Fprintln(w, "# TYPE mg_worker_busy_seconds_total counter")
+		for _, ws := range s.Workers {
+			fmt.Fprintf(w, "mg_worker_busy_seconds_total{worker=\"%d\"} %g\n",
+				ws.Worker, float64(ws.BusyNanos)/1e9)
+		}
+	}
+}
+
+// PromSample is one parsed Prometheus text-format sample line.
+type PromSample struct {
+	Name   string
+	Labels map[string]string
+	Value  float64
+}
+
+// Label returns the sample's value for one label name ("" when absent).
+func (s PromSample) Label(name string) string { return s.Labels[name] }
+
+// ParsePrometheus parses Prometheus text format (the subset
+// WritePrometheus emits: comment lines, `name value` and
+// `name{l1="v1",...} value` sample lines — no timestamps). It exists so
+// the exposition can be round-trip-tested without external dependencies;
+// it is strict about what it does parse, returning an error with the
+// offending line on any malformed input.
+func ParsePrometheus(r io.Reader) ([]PromSample, error) {
+	var samples []PromSample
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		s, err := parsePromLine(line)
+		if err != nil {
+			return nil, fmt.Errorf("metrics: prometheus line %d: %w (%q)", lineNo, err, line)
+		}
+		samples = append(samples, s)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return samples, nil
+}
+
+// parsePromLine parses one sample line.
+func parsePromLine(line string) (PromSample, error) {
+	s := PromSample{Labels: map[string]string{}}
+	i := 0
+	for i < len(line) && isPromNameChar(line[i], i == 0) {
+		i++
+	}
+	if i == 0 {
+		return s, fmt.Errorf("missing metric name")
+	}
+	s.Name = line[:i]
+	rest := line[i:]
+	if strings.HasPrefix(rest, "{") {
+		end := -1
+		// Find the closing brace outside quoted label values.
+		inQuote := false
+		for j := 1; j < len(rest); j++ {
+			switch {
+			case inQuote && rest[j] == '\\':
+				j++
+			case rest[j] == '"':
+				inQuote = !inQuote
+			case !inQuote && rest[j] == '}':
+				end = j
+			}
+			if end >= 0 {
+				break
+			}
+		}
+		if end < 0 {
+			return s, fmt.Errorf("unterminated label set")
+		}
+		if err := parsePromLabels(rest[1:end], s.Labels); err != nil {
+			return s, err
+		}
+		rest = rest[end+1:]
+	}
+	valText := strings.TrimSpace(rest)
+	if valText == "" {
+		return s, fmt.Errorf("missing value")
+	}
+	v, err := strconv.ParseFloat(valText, 64)
+	if err != nil {
+		return s, fmt.Errorf("bad value %q", valText)
+	}
+	s.Value = v
+	return s, nil
+}
+
+// parsePromLabels parses `l1="v1",l2="v2"` into labels.
+func parsePromLabels(text string, labels map[string]string) error {
+	for text != "" {
+		eq := strings.IndexByte(text, '=')
+		if eq <= 0 {
+			return fmt.Errorf("bad label pair %q", text)
+		}
+		name := text[:eq]
+		rest := text[eq+1:]
+		if !strings.HasPrefix(rest, `"`) {
+			return fmt.Errorf("unquoted label value for %q", name)
+		}
+		val, tail, err := unquotePromValue(rest)
+		if err != nil {
+			return err
+		}
+		labels[name] = val
+		text = strings.TrimPrefix(tail, ",")
+	}
+	return nil
+}
+
+// unquotePromValue consumes one quoted label value (with \\, \" and \n
+// escapes) and returns the remainder of the text.
+func unquotePromValue(text string) (val, rest string, err error) {
+	var b strings.Builder
+	for i := 1; i < len(text); i++ {
+		switch text[i] {
+		case '\\':
+			if i+1 >= len(text) {
+				return "", "", fmt.Errorf("dangling escape in %q", text)
+			}
+			i++
+			switch text[i] {
+			case 'n':
+				b.WriteByte('\n')
+			case '\\', '"':
+				b.WriteByte(text[i])
+			default:
+				return "", "", fmt.Errorf("bad escape \\%c", text[i])
+			}
+		case '"':
+			return b.String(), text[i+1:], nil
+		default:
+			b.WriteByte(text[i])
+		}
+	}
+	return "", "", fmt.Errorf("unterminated label value in %q", text)
+}
+
+// isPromNameChar reports whether c may appear in a metric/label name.
+func isPromNameChar(c byte, first bool) bool {
+	switch {
+	case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+		return true
+	case c >= '0' && c <= '9':
+		return !first
+	default:
+		return false
+	}
+}
+
+// PromIndex groups parsed samples by metric name, preserving order within
+// a name — the shape round-trip tests want to assert against.
+func PromIndex(samples []PromSample) map[string][]PromSample {
+	idx := map[string][]PromSample{}
+	for _, s := range samples {
+		idx[s.Name] = append(idx[s.Name], s)
+	}
+	return idx
+}
+
+// PromNames returns the sorted metric names present in samples.
+func PromNames(samples []PromSample) []string {
+	seen := map[string]bool{}
+	var names []string
+	for _, s := range samples {
+		if !seen[s.Name] {
+			seen[s.Name] = true
+			names = append(names, s.Name)
+		}
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,143 @@
+package metrics
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+// promSnapshot builds a small collector snapshot with two kernels and two
+// workers for the exposition tests.
+func promSnapshot() Snapshot {
+	c := NewCollector(2)
+	c.Record(0, "subRelax", 5, 27000, 2*time.Millisecond)
+	c.Record(1, "subRelax", 5, 27000, 3*time.Millisecond)
+	c.Record(0, "addRelax", 4, 8000, 500*time.Microsecond)
+	c.Record(0, TotalKernel, 5, 100000, 10*time.Millisecond)
+	c.RecordBusy(0, 4*time.Millisecond)
+	c.RecordBusy(1, 2*time.Millisecond)
+	return c.Snapshot()
+}
+
+func TestPrometheusRoundTrip(t *testing.T) {
+	snap := promSnapshot()
+	costs := map[string]Cost{"subRelax": {Flops: 24, Bytes: 24}}
+	var buf bytes.Buffer
+	snap.WritePrometheus(&buf, costs)
+
+	samples, err := ParsePrometheus(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("round trip failed: %v", err)
+	}
+	idx := PromIndex(samples)
+
+	// The counters must round-trip exactly.
+	find := func(name, kernel, level string) PromSample {
+		t.Helper()
+		for _, s := range idx[name] {
+			if s.Label("kernel") == kernel && s.Label("level") == level {
+				return s
+			}
+		}
+		t.Fatalf("no sample %s{kernel=%q,level=%q} in:\n%s", name, kernel, level, buf.String())
+		return PromSample{}
+	}
+	if v := find("mg_kernel_invocations_total", "subRelax", "5").Value; v != 2 {
+		t.Fatalf("subRelax@5 invocations = %g, want 2", v)
+	}
+	if v := find("mg_kernel_points_total", "subRelax", "5").Value; v != 54000 {
+		t.Fatalf("subRelax@5 points = %g, want 54000", v)
+	}
+	if v := find("mg_kernel_seconds_total", "subRelax", "5").Value; v != 0.005 {
+		t.Fatalf("subRelax@5 seconds = %g, want 0.005", v)
+	}
+	if v := find("mg_kernel_gflops", "subRelax", "5").Value; v <= 0 {
+		t.Fatalf("subRelax@5 gflops = %g, want > 0", v)
+	}
+
+	// Histogram invariants: buckets cumulative, count matches, +Inf last.
+	var cum float64 = -1
+	var infSeen bool
+	for _, s := range idx["mg_kernel_duration_seconds_bucket"] {
+		if s.Label("kernel") != "subRelax" || s.Label("level") != "5" {
+			continue
+		}
+		if s.Value < cum {
+			t.Fatalf("histogram bucket not cumulative: %g after %g", s.Value, cum)
+		}
+		cum = s.Value
+		if s.Label("le") == "+Inf" {
+			infSeen = true
+			if s.Value != 2 {
+				t.Fatalf("+Inf bucket = %g, want 2 (the invocation count)", s.Value)
+			}
+		}
+	}
+	if !infSeen {
+		t.Fatal("histogram has no +Inf bucket")
+	}
+	if v := find("mg_kernel_duration_seconds_count", "subRelax", "5").Value; v != 2 {
+		t.Fatalf("histogram count = %g, want 2", v)
+	}
+
+	// Coverage and worker series present.
+	if len(idx["mg_kernel_coverage_ratio"]) != 1 {
+		t.Fatal("missing coverage ratio")
+	}
+	var workers int
+	for _, s := range idx["mg_worker_busy_seconds_total"] {
+		if s.Label("worker") != "" {
+			workers++
+		}
+	}
+	if workers != 2 {
+		t.Fatalf("worker busy series = %d, want 2", workers)
+	}
+}
+
+func TestParsePrometheusEscapes(t *testing.T) {
+	in := `m_total{k="a\"b\\c\nd"} 1.5` + "\n"
+	samples, err := ParsePrometheus(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(samples) != 1 || samples[0].Value != 1.5 {
+		t.Fatalf("parsed %+v", samples)
+	}
+	if got := samples[0].Label("k"); got != "a\"b\\c\nd" {
+		t.Fatalf("label = %q", got)
+	}
+}
+
+func TestParsePrometheusRejectsGarbage(t *testing.T) {
+	for _, bad := range []string{
+		"1leading_digit 2",
+		"name_only",
+		`m{k="unterminated} 1`,
+		`m{k=unquoted} 1`,
+		"m not-a-number",
+	} {
+		if _, err := ParsePrometheus(strings.NewReader(bad + "\n")); err == nil {
+			t.Fatalf("ParsePrometheus accepted %q", bad)
+		}
+	}
+}
+
+func TestHistBuckets(t *testing.T) {
+	cases := []struct {
+		ns   uint64
+		want int
+	}{
+		{0, 0}, {1, 0}, {1024, 0}, {1025, 1}, {2048, 1}, {2049, 2},
+		{1 << 40, HistBuckets - 1},
+	}
+	for _, c := range cases {
+		if got := histBucket(c.ns); got != c.want {
+			t.Fatalf("histBucket(%d) = %d, want %d", c.ns, got, c.want)
+		}
+	}
+	if HistBound(0) != 1024 || HistBound(1) != 2048 {
+		t.Fatal("HistBound bounds wrong")
+	}
+}

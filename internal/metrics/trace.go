@@ -19,15 +19,22 @@ import (
 //	span   one timed V-cycle region (Kernel = resid | smooth |
 //	       fine2coarse | coarse2fine — the restrict/prolong spans keep
 //	       their repository names) at Level, taking Nanos
+//	wspan  one worker's busy slice of one parallel fan-out: Worker spent
+//	       Nanos inside the loop body (sched.Pool with a tracer attached)
 //	level  a V-cycle level transition: Dir "down" entering Level,
 //	       "up" leaving it
 //	iter   the start of MGrid iteration Iter (1-based)
 //	plan   the tuner settled on (or was handed) Plan for Kernel@Level
 //	solve  one whole benchmark solve: Nanos of wall time, final Rnm2
+//
+// Rank tags the emitting simulated-MPI rank (internal/mgmpi); it is 0 —
+// and omitted — for single-process runs, so traces from several ranks
+// concatenate into one stream that mgtrace splits back into per-rank
+// Perfetto processes.
 type Event struct {
 	// T is nanoseconds since the tracer was created; Emit stamps it.
 	T int64 `json:"t"`
-	// Ev is the event kind: span, level, iter, plan or solve.
+	// Ev is the event kind: span, wspan, level, iter, plan or solve.
 	Ev     string  `json:"ev"`
 	Kernel string  `json:"kernel,omitempty"`
 	Level  int     `json:"level,omitempty"`
@@ -36,6 +43,8 @@ type Event struct {
 	Plan   string  `json:"plan,omitempty"`
 	Iter   int     `json:"iter,omitempty"`
 	Rnm2   float64 `json:"rnm2,omitempty"`
+	Worker int     `json:"worker,omitempty"`
+	Rank   int     `json:"rank,omitempty"`
 }
 
 // Tracer writes Events as JSON lines. A nil *Tracer is the disabled

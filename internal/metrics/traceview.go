@@ -1,0 +1,424 @@
+// Offline analysis of the JSON-lines V-cycle trace (trace.go): reading an
+// event stream back, aggregating spans per (rank, kernel, level) with a
+// critical-path and load-imbalance summary, and converting the stream to
+// Chrome trace-event JSON that chrome://tracing and Perfetto load
+// directly. cmd/mgtrace is the CLI over these functions.
+//
+// # Perfetto track layout
+//
+// Each simulated-MPI rank becomes one Perfetto process (pid = rank), so
+// the concatenated traces of an mgmpi run merge into a single timeline.
+// Within a process:
+//
+//	tid 0               the solve track: whole-solve spans, iteration
+//	                    instants, and the V-cycle level counter
+//	tid 1+level         one track per grid level carrying that level's
+//	                    region spans (resid, smooth, fine2coarse,
+//	                    coarse2fine) and tuner plan instants
+//	tid 1000+worker     one track per scheduler worker carrying its
+//	                    "wspan" busy slices
+//
+// Span timestamps derive from the tracer's emit stamp: an event's T is
+// taken when the span ends, so its start is T − Nanos. Timestamps are
+// microseconds (the trace-event convention).
+package metrics
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// ReadEvents parses a JSON-lines trace stream back into events, in stream
+// order. Blank lines are skipped; a malformed line aborts with its line
+// number.
+func ReadEvents(r io.Reader) ([]Event, error) {
+	var events []Event
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var e Event
+		if err := json.Unmarshal(line, &e); err != nil {
+			return nil, fmt.Errorf("metrics: trace line %d: %w", lineNo, err)
+		}
+		events = append(events, e)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return events, nil
+}
+
+// SpanStat aggregates the "span" events of one (rank, kernel, level).
+type SpanStat struct {
+	Rank   int    `json:"rank"`
+	Kernel string `json:"kernel"`
+	Level  int    `json:"level"`
+	Count  int    `json:"count"`
+	Nanos  int64  `json:"nanos"`
+}
+
+// RankStat aggregates one rank's trace: total region-span time, solve
+// time, and event count.
+type RankStat struct {
+	Rank       int   `json:"rank"`
+	SpanNanos  int64 `json:"spanNanos"`
+	SolveNanos int64 `json:"solveNanos"`
+	Events     int   `json:"events"`
+}
+
+// WorkerSpanStat aggregates the "wspan" busy slices of one (rank, worker).
+type WorkerSpanStat struct {
+	Rank   int   `json:"rank"`
+	Worker int   `json:"worker"`
+	Count  int   `json:"count"`
+	Nanos  int64 `json:"nanos"`
+}
+
+// Summary is the aggregated view of one trace stream (Summarize).
+type Summary struct {
+	Events  int              `json:"events"`
+	Iters   int              `json:"iters"`
+	Solves  int              `json:"solves"`
+	Spans   []SpanStat       `json:"spans"`
+	Ranks   []RankStat       `json:"ranks"`
+	Workers []WorkerSpanStat `json:"workers,omitempty"`
+	// SolveNanos sums the whole-solve spans; FinalRnm2 is the last solve
+	// event's residual norm.
+	SolveNanos int64   `json:"solveNanos"`
+	FinalRnm2  float64 `json:"finalRnm2,omitempty"`
+	// CriticalPathNanos is the slowest rank's region-span total — with
+	// simulated MPI the ranks run their V-cycles in lockstep phases, so
+	// the slowest rank bounds the timeline.
+	CriticalPathNanos int64 `json:"criticalPathNanos"`
+	// RankImbalance is max/mean of the per-rank span totals (0 with
+	// fewer than two ranks); WorkerImbalance is max/mean of the
+	// per-worker busy totals across all wspans (0 without wspans).
+	RankImbalance   float64 `json:"rankImbalance,omitempty"`
+	WorkerImbalance float64 `json:"workerImbalance,omitempty"`
+}
+
+// Summarize aggregates a trace stream: per-(rank, kernel, level) span
+// totals, per-rank and per-worker rollups, and the derived critical-path
+// and imbalance figures.
+func Summarize(events []Event) Summary {
+	sum := Summary{Events: len(events)}
+	spans := map[SpanStat]*SpanStat{}
+	ranks := map[int]*RankStat{}
+	workers := map[[2]int]*WorkerSpanStat{}
+	rankOf := func(rank int) *RankStat {
+		r := ranks[rank]
+		if r == nil {
+			r = &RankStat{Rank: rank}
+			ranks[rank] = r
+		}
+		return r
+	}
+	for _, e := range events {
+		rankOf(e.Rank).Events++
+		switch e.Ev {
+		case "span":
+			key := SpanStat{Rank: e.Rank, Kernel: e.Kernel, Level: e.Level}
+			s := spans[key]
+			if s == nil {
+				s = &SpanStat{Rank: e.Rank, Kernel: e.Kernel, Level: e.Level}
+				spans[key] = s
+			}
+			s.Count++
+			s.Nanos += e.Nanos
+			rankOf(e.Rank).SpanNanos += e.Nanos
+		case "wspan":
+			key := [2]int{e.Rank, e.Worker}
+			w := workers[key]
+			if w == nil {
+				w = &WorkerSpanStat{Rank: e.Rank, Worker: e.Worker}
+				workers[key] = w
+			}
+			w.Count++
+			w.Nanos += e.Nanos
+		case "iter":
+			sum.Iters++
+		case "solve":
+			sum.Solves++
+			sum.SolveNanos += e.Nanos
+			sum.FinalRnm2 = e.Rnm2
+			rankOf(e.Rank).SolveNanos += e.Nanos
+		}
+	}
+	for _, s := range spans {
+		sum.Spans = append(sum.Spans, *s)
+	}
+	sort.Slice(sum.Spans, func(i, j int) bool {
+		a, b := sum.Spans[i], sum.Spans[j]
+		if a.Rank != b.Rank {
+			return a.Rank < b.Rank
+		}
+		if a.Kernel != b.Kernel {
+			return a.Kernel < b.Kernel
+		}
+		return a.Level < b.Level
+	})
+	for _, r := range ranks {
+		sum.Ranks = append(sum.Ranks, *r)
+	}
+	sort.Slice(sum.Ranks, func(i, j int) bool { return sum.Ranks[i].Rank < sum.Ranks[j].Rank })
+	for _, w := range workers {
+		sum.Workers = append(sum.Workers, *w)
+	}
+	sort.Slice(sum.Workers, func(i, j int) bool {
+		a, b := sum.Workers[i], sum.Workers[j]
+		if a.Rank != b.Rank {
+			return a.Rank < b.Rank
+		}
+		return a.Worker < b.Worker
+	})
+
+	var rankSum, rankMax int64
+	for _, r := range sum.Ranks {
+		rankSum += r.SpanNanos
+		if r.SpanNanos > rankMax {
+			rankMax = r.SpanNanos
+		}
+	}
+	sum.CriticalPathNanos = rankMax
+	if len(sum.Ranks) > 1 && rankSum > 0 {
+		sum.RankImbalance = float64(rankMax) / (float64(rankSum) / float64(len(sum.Ranks)))
+	}
+	var busySum, busyMax int64
+	for _, w := range sum.Workers {
+		busySum += w.Nanos
+		if w.Nanos > busyMax {
+			busyMax = w.Nanos
+		}
+	}
+	if len(sum.Workers) > 1 && busySum > 0 {
+		sum.WorkerImbalance = float64(busyMax) / (float64(busySum) / float64(len(sum.Workers)))
+	}
+	return sum
+}
+
+// WriteText renders the summary as the mgtrace report.
+func (s Summary) WriteText(w io.Writer) {
+	fmt.Fprintf(w, "Trace summary: %d events, %d iterations, %d solve span(s)\n",
+		s.Events, s.Iters, s.Solves)
+	if s.Solves > 0 {
+		fmt.Fprintf(w, "solve time: %.3f ms, final rnm2 %.6e\n",
+			float64(s.SolveNanos)/1e6, s.FinalRnm2)
+	}
+	fmt.Fprintf(w, "%-6s %-14s %6s %8s %12s\n", "rank", "kernel", "level", "spans", "ms")
+	for _, sp := range s.Spans {
+		fmt.Fprintf(w, "%-6d %-14s %6d %8d %12.3f\n",
+			sp.Rank, sp.Kernel, sp.Level, sp.Count, float64(sp.Nanos)/1e6)
+	}
+	fmt.Fprintf(w, "critical path (slowest rank): %.3f ms\n", float64(s.CriticalPathNanos)/1e6)
+	if s.RankImbalance > 0 {
+		fmt.Fprintf(w, "rank imbalance: %.3f (max/mean span time over %d ranks)\n",
+			s.RankImbalance, len(s.Ranks))
+	}
+	if len(s.Workers) > 0 {
+		for _, ws := range s.Workers {
+			fmt.Fprintf(w, "rank %d worker %2d: %6d busy slices, %10.3f ms\n",
+				ws.Rank, ws.Worker, ws.Count, float64(ws.Nanos)/1e6)
+		}
+		if s.WorkerImbalance > 0 {
+			fmt.Fprintf(w, "worker imbalance: %.3f (max/mean busy)\n", s.WorkerImbalance)
+		}
+	}
+}
+
+// ChromeEvent is one Chrome trace-event record (the subset the converter
+// emits: complete spans "X", instants "i", counters "C" and metadata "M").
+type ChromeEvent struct {
+	Name string `json:"name"`
+	Ph   string `json:"ph"`
+	// Ts is the event timestamp in microseconds; Dur the span length.
+	Ts  float64 `json:"ts"`
+	Dur float64 `json:"dur,omitempty"`
+	Pid int     `json:"pid"`
+	Tid int     `json:"tid"`
+	Cat string  `json:"cat,omitempty"`
+	// S is the instant scope ("p" = process).
+	S    string         `json:"s,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// ChromeTrace is the JSON object container format of the trace-event
+// spec; Perfetto and chrome://tracing load it directly.
+type ChromeTrace struct {
+	TraceEvents     []ChromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// Track id scheme of the converter (see the package comment).
+const (
+	// TidSolve is the per-rank solve/iteration track.
+	TidSolve = 0
+	// TidLevelBase + level is the grid-level track.
+	TidLevelBase = 1
+	// TidWorkerBase + worker is the scheduler-worker track.
+	TidWorkerBase = 1000
+)
+
+// ChromeTraceFrom converts a trace stream to Chrome trace-event JSON:
+// pid = rank, one thread per solve/level/worker track, named via metadata
+// events. Span starts are reconstructed as T − Nanos (the tracer stamps
+// events when they end).
+func ChromeTraceFrom(events []Event) ChromeTrace {
+	out := ChromeTrace{DisplayTimeUnit: "ms", TraceEvents: []ChromeEvent{}}
+	type track struct{ pid, tid int }
+	named := map[track]string{}
+	use := func(pid, tid int, name string) {
+		named[track{pid, tid}] = name
+	}
+	usToTs := func(ns int64) float64 { return float64(ns) / 1e3 }
+	// spanStart reconstructs a span's start from its end stamp, clamped
+	// to the tracer epoch (a span cannot begin before the tracer existed;
+	// clock-resolution jitter could otherwise push it negative).
+	spanStart := func(end, dur int64) float64 {
+		if start := end - dur; start > 0 {
+			return usToTs(start)
+		}
+		return 0
+	}
+	for _, e := range events {
+		switch e.Ev {
+		case "span":
+			tid := TidLevelBase + e.Level
+			use(e.Rank, tid, fmt.Sprintf("level %d", e.Level))
+			out.TraceEvents = append(out.TraceEvents, ChromeEvent{
+				Name: e.Kernel, Ph: "X", Cat: "region",
+				Ts: spanStart(e.T, e.Nanos), Dur: usToTs(e.Nanos),
+				Pid: e.Rank, Tid: tid,
+				Args: map[string]any{"level": e.Level},
+			})
+		case "wspan":
+			tid := TidWorkerBase + e.Worker
+			use(e.Rank, tid, fmt.Sprintf("worker %d", e.Worker))
+			out.TraceEvents = append(out.TraceEvents, ChromeEvent{
+				Name: "busy", Ph: "X", Cat: "sched",
+				Ts: spanStart(e.T, e.Nanos), Dur: usToTs(e.Nanos),
+				Pid: e.Rank, Tid: tid,
+				Args: map[string]any{"worker": e.Worker},
+			})
+		case "iter":
+			use(e.Rank, TidSolve, "solve")
+			out.TraceEvents = append(out.TraceEvents, ChromeEvent{
+				Name: fmt.Sprintf("iteration %d", e.Iter), Ph: "i", Cat: "iter",
+				Ts: usToTs(e.T), Pid: e.Rank, Tid: TidSolve, S: "p",
+				Args: map[string]any{"iter": e.Iter},
+			})
+		case "solve":
+			use(e.Rank, TidSolve, "solve")
+			out.TraceEvents = append(out.TraceEvents, ChromeEvent{
+				Name: "solve", Ph: "X", Cat: "solve",
+				Ts: spanStart(e.T, e.Nanos), Dur: usToTs(e.Nanos),
+				Pid: e.Rank, Tid: TidSolve,
+				Args: map[string]any{"iter": e.Iter, "rnm2": e.Rnm2},
+			})
+		case "level":
+			// The V-cycle depth counter: entering a level sets the gauge
+			// to that level, leaving it restores the parent (level+1).
+			use(e.Rank, TidSolve, "solve")
+			val := e.Level
+			if e.Dir == "up" {
+				val = e.Level + 1
+			}
+			out.TraceEvents = append(out.TraceEvents, ChromeEvent{
+				Name: "vcycle level", Ph: "C",
+				Ts: usToTs(e.T), Pid: e.Rank, Tid: TidSolve,
+				Args: map[string]any{"level": val},
+			})
+		case "plan":
+			tid := TidLevelBase + e.Level
+			use(e.Rank, tid, fmt.Sprintf("level %d", e.Level))
+			out.TraceEvents = append(out.TraceEvents, ChromeEvent{
+				Name: "plan " + e.Kernel, Ph: "i", Cat: "tune",
+				Ts: usToTs(e.T), Pid: e.Rank, Tid: tid, S: "p",
+				Args: map[string]any{"plan": e.Plan},
+			})
+		}
+	}
+	// Metadata: name each rank's process and every used track, in
+	// deterministic order.
+	tracks := make([]track, 0, len(named))
+	for tr := range named {
+		tracks = append(tracks, tr)
+	}
+	sort.Slice(tracks, func(i, j int) bool {
+		if tracks[i].pid != tracks[j].pid {
+			return tracks[i].pid < tracks[j].pid
+		}
+		return tracks[i].tid < tracks[j].tid
+	})
+	seenPid := map[int]bool{}
+	var meta []ChromeEvent
+	for _, tr := range tracks {
+		if !seenPid[tr.pid] {
+			seenPid[tr.pid] = true
+			meta = append(meta, ChromeEvent{
+				Name: "process_name", Ph: "M", Pid: tr.pid, Tid: 0,
+				Args: map[string]any{"name": fmt.Sprintf("mg rank %d", tr.pid)},
+			})
+		}
+		meta = append(meta, ChromeEvent{
+			Name: "thread_name", Ph: "M", Pid: tr.pid, Tid: tr.tid,
+			Args: map[string]any{"name": named[tr]},
+		})
+	}
+	out.TraceEvents = append(meta, out.TraceEvents...)
+	return out
+}
+
+// Validate checks the converter's output against the trace-event format
+// contract Perfetto relies on: a traceEvents array whose records carry a
+// name, a known phase, non-negative timestamps and durations, metadata
+// args with a name, and instants with a valid scope. The schema unit test
+// and mgtrace -check run it.
+func (t ChromeTrace) Validate() error {
+	if t.TraceEvents == nil {
+		return fmt.Errorf("traceEvents missing")
+	}
+	for i, e := range t.TraceEvents {
+		where := func(msg string, args ...any) error {
+			return fmt.Errorf("traceEvents[%d] (%s %q): %s", i, e.Ph, e.Name, fmt.Sprintf(msg, args...))
+		}
+		if e.Name == "" {
+			return fmt.Errorf("traceEvents[%d]: empty name", i)
+		}
+		switch e.Ph {
+		case "X":
+			if e.Dur < 0 {
+				return where("negative dur %g", e.Dur)
+			}
+			if e.Ts < 0 {
+				return where("negative ts %g", e.Ts)
+			}
+		case "i":
+			if e.S != "" && e.S != "g" && e.S != "p" && e.S != "t" {
+				return where("bad instant scope %q", e.S)
+			}
+			if e.Ts < 0 {
+				return where("negative ts %g", e.Ts)
+			}
+		case "C":
+			if len(e.Args) == 0 {
+				return where("counter without args")
+			}
+		case "M":
+			if _, ok := e.Args["name"]; !ok {
+				return where("metadata without args.name")
+			}
+		default:
+			return where("unknown phase")
+		}
+	}
+	return nil
+}

@@ -33,8 +33,10 @@ package mgmpi
 import (
 	"fmt"
 	"math"
+	"time"
 
 	"repro/internal/array"
+	"repro/internal/metrics"
 	"repro/internal/mpi"
 	"repro/internal/nas"
 	"repro/internal/shape"
@@ -63,6 +65,12 @@ type Solver struct {
 	// invoked on rank 0. Each intermediate report costs one collective
 	// norm reduction; the default nil adds no communication.
 	IterNorms func(iter int, rnm2, rnmu float64)
+	// Trace, when non-nil, receives rank-tagged V-cycle events: one
+	// "resid"/"mg3P" span per rank per phase (Rank identifies the
+	// emitter, so a multi-rank run becomes one Perfetto process per
+	// rank), plus iteration markers and the whole-solve summary from
+	// rank 0. The tracer is safe for the ranks' concurrent emits.
+	Trace *metrics.Tracer
 
 	world *mpi.World
 }
@@ -93,17 +101,33 @@ func (s *Solver) Stats() mpi.Stats { return s.world.TotalStats() }
 // RankStats returns the accumulated per-rank communication counters.
 func (s *Solver) RankStats() []mpi.Stats { return s.world.Stats() }
 
+// span times f and, with a tracer attached, emits it as a rank-tagged
+// span event at the finest level (nil tracer: just f()).
+func (s *Solver) span(rank int, kernel string, f func()) {
+	tr := s.Trace
+	if tr == nil {
+		f()
+		return
+	}
+	start := time.Now()
+	f()
+	tr.Emit(metrics.Event{Ev: "span", Kernel: kernel, Level: s.Class.LT(),
+		Nanos: int64(time.Since(start)), Rank: rank})
+}
+
 // Run executes the full benchmark (reset, initial residual, Iter ×
 // (V-cycle + residual), norms) across the world and returns the final
 // NPB norms.
 func (s *Solver) Run() (rnm2, rnmu float64) {
 	results := make([][2]float64, s.Ranks())
 	s.world.Run(func(c *mpi.Comm) {
+		rank := c.Rank()
 		st := newRankState(c, s.Class, s.Procs)
 		st.reset()
-		st.evalResid()
+		start := time.Now()
+		s.span(rank, "resid", st.evalResid)
 		report := func(iter int, n2, nu float64) {
-			if s.IterNorms != nil && c.Rank() == 0 {
+			if s.IterNorms != nil && rank == 0 {
 				s.IterNorms(iter, n2, nu)
 			}
 		}
@@ -115,8 +139,11 @@ func (s *Solver) Run() (rnm2, rnmu float64) {
 			report(0, n2, nu)
 		}
 		for it := 0; it < s.Class.Iter; it++ {
-			st.mg3P()
-			st.evalResid()
+			if rank == 0 && s.Trace != nil {
+				s.Trace.Emit(metrics.Event{Ev: "iter", Iter: it + 1, Level: s.Class.LT()})
+			}
+			s.span(rank, "mg3P", st.mg3P)
+			s.span(rank, "resid", st.evalResid)
 			if s.IterNorms != nil && it+1 < s.Class.Iter {
 				n2, nu := st.norms()
 				report(it+1, n2, nu)
@@ -124,7 +151,11 @@ func (s *Solver) Run() (rnm2, rnmu float64) {
 		}
 		n2, nu := st.norms()
 		report(s.Class.Iter, n2, nu)
-		results[c.Rank()] = [2]float64{n2, nu}
+		if rank == 0 && s.Trace != nil {
+			s.Trace.Emit(metrics.Event{Ev: "solve", Level: s.Class.LT(),
+				Nanos: int64(time.Since(start)), Iter: s.Class.Iter, Rnm2: n2})
+		}
+		results[rank] = [2]float64{n2, nu}
 	})
 	return results[0][0], results[0][1]
 }

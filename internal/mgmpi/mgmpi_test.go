@@ -1,10 +1,12 @@
 package mgmpi
 
 import (
+	"bytes"
 	"math"
 	"testing"
 
 	"repro/internal/f77"
+	"repro/internal/metrics"
 	"repro/internal/nas"
 )
 
@@ -219,5 +221,62 @@ func TestNew3DValidation(t *testing.T) {
 			}()
 			New3D(nas.ClassS, g[0], g[1], g[2])
 		}()
+	}
+}
+
+// A traced multi-rank run must tag every span with its emitting rank (so
+// the Perfetto conversion can split ranks into processes), emit one iter
+// marker per V-cycle and a single rank-0 solve event, and still verify.
+func TestRankTaggedTrace(t *testing.T) {
+	var buf bytes.Buffer
+	tr := metrics.NewTracer(&buf)
+	s := New(nas.ClassS, 4)
+	s.Trace = tr
+	rnm2, _ := s.Run()
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if verified, ok := nas.ClassS.Verify(rnm2); !ok || !verified {
+		t.Fatalf("traced run did not verify: rnm2 = %.13e", rnm2)
+	}
+	events, err := metrics.ReadEvents(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ranks := map[int]int{}
+	var iters, solves int
+	var solveRnm2 float64
+	for _, e := range events {
+		switch e.Ev {
+		case "span":
+			if e.Kernel != "resid" && e.Kernel != "mg3P" {
+				t.Fatalf("unexpected span kernel %q", e.Kernel)
+			}
+			ranks[e.Rank]++
+		case "iter":
+			iters++
+		case "solve":
+			solves++
+			solveRnm2 = e.Rnm2
+			if e.Rank != 0 {
+				t.Fatalf("solve event from rank %d, want 0", e.Rank)
+			}
+		}
+	}
+	if len(ranks) != 4 {
+		t.Fatalf("spans from %d ranks, want 4: %v", len(ranks), ranks)
+	}
+	// Per rank: 1 initial resid + Iter × (mg3P + resid).
+	want := 1 + 2*nas.ClassS.Iter
+	for r, n := range ranks {
+		if n != want {
+			t.Fatalf("rank %d emitted %d spans, want %d", r, n, want)
+		}
+	}
+	if iters != nas.ClassS.Iter || solves != 1 {
+		t.Fatalf("iters=%d solves=%d, want %d/1", iters, solves, nas.ClassS.Iter)
+	}
+	if solveRnm2 != rnm2 {
+		t.Fatalf("solve event rnm2 %.17e != returned %.17e", solveRnm2, rnm2)
 	}
 }

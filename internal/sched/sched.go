@@ -127,6 +127,10 @@ type Pool struct {
 	// parallel fan-out (see SetMetrics). nil — the default — costs one
 	// predictable nil check per fan-out.
 	metrics *metrics.Collector
+	// tracer, when non-nil, receives one "wspan" event per worker per
+	// parallel fan-out (see SetTracer) — the raw material of the Perfetto
+	// per-worker timeline tracks.
+	tracer *metrics.Tracer
 }
 
 // SetMetrics attaches a collector that receives one RecordBusy per worker
@@ -135,6 +139,17 @@ type Pool struct {
 // pool executes loops (it is not synchronized against concurrent For).
 // SetMetrics(nil) detaches.
 func (p *Pool) SetMetrics(c *metrics.Collector) { p.metrics = c }
+
+// SetTracer attaches a tracer that receives one Event{Ev: "wspan"} per
+// worker per parallel fan-out: Worker spent Nanos inside the loop body,
+// with the event's T stamping the span's end. Like SetMetrics, call it
+// before the pool executes loops. SetTracer(nil) detaches.
+//
+// Note the sequential paths — a one-worker pool, or an iteration count at
+// or below the sequential threshold — run inline on the caller and emit
+// nothing, exactly as they skip RecordBusy: per-worker accounting
+// describes parallel fan-outs only.
+func (p *Pool) SetTracer(t *metrics.Tracer) { p.tracer = t }
 
 // NewPool creates a pool with the given number of workers. workers <= 0
 // selects runtime.GOMAXPROCS(0). The pool must be Closed when no longer
@@ -236,10 +251,14 @@ func (p *Pool) runOnAll(part func(worker int)) {
 			}
 			wg.Done()
 		}()
-		if m := p.metrics; m != nil {
+		if m, tr := p.metrics, p.tracer; m != nil || tr != nil {
 			start := time.Now()
 			part(w)
-			m.RecordBusy(w, time.Since(start))
+			elapsed := time.Since(start)
+			m.RecordBusy(w, elapsed) // nil-safe
+			if tr != nil {
+				tr.Emit(metrics.Event{Ev: "wspan", Worker: w, Nanos: int64(elapsed)})
+			}
 			return
 		}
 		part(w)

@@ -1,11 +1,14 @@
 package sched
 
 import (
+	"bytes"
 	"math"
 	"strings"
 	"sync/atomic"
 	"testing"
 	"testing/quick"
+
+	"repro/internal/metrics"
 )
 
 var allPolicies = []Policy{StaticBlock, StaticCyclic, Dynamic, Guided}
@@ -314,5 +317,81 @@ func TestPolicyTextRoundTrip(t *testing.T) {
 	}
 	if _, err := Policy(99).MarshalText(); err == nil {
 		t.Fatal("MarshalText accepted an out-of-range policy")
+	}
+}
+
+// Busy accounting: with a collector attached, every parallel fan-out
+// records one loop and a positive busy time per participating worker;
+// the single-worker pool and the sequential fast path record nothing.
+func TestBusyAccountingPerWorkerCount(t *testing.T) {
+	for _, workers := range []int{1, 2, 4} {
+		p := NewPool(workers)
+		c := metrics.NewCollector(workers)
+		p.SetMetrics(c)
+		const fanouts = 3
+		var total atomic.Int64
+		for i := 0; i < fanouts; i++ {
+			p.For(1<<14, ForOptions{}, func(lo, hi, worker int) {
+				var s int64
+				for j := lo; j < hi; j++ {
+					s += int64(j)
+				}
+				total.Add(s)
+			})
+		}
+		snap := c.Snapshot()
+		if workers == 1 {
+			// Inline path: no fan-out, so no per-worker accounting.
+			if len(snap.Workers) != 0 {
+				t.Fatalf("1 worker recorded busy shards: %+v", snap.Workers)
+			}
+			p.Close()
+			continue
+		}
+		if len(snap.Workers) != workers {
+			t.Fatalf("%d workers: %d busy shards", workers, len(snap.Workers))
+		}
+		for _, ws := range snap.Workers {
+			if ws.Loops != fanouts {
+				t.Fatalf("%d workers: worker %d took part in %d loops, want %d",
+					workers, ws.Worker, ws.Loops, fanouts)
+			}
+			if ws.BusyNanos == 0 {
+				t.Fatalf("%d workers: worker %d recorded zero busy time", workers, ws.Worker)
+			}
+		}
+		p.Close()
+	}
+}
+
+// With a tracer attached, each parallel fan-out emits one "wspan" event
+// per worker; the sequential threshold path emits none.
+func TestWspanEmission(t *testing.T) {
+	var buf bytes.Buffer
+	tr := metrics.NewTracer(&buf)
+	p := NewPool(2)
+	defer p.Close()
+	p.SetTracer(tr)
+	p.For(1<<12, ForOptions{}, func(lo, hi, worker int) {})
+	p.For(8, ForOptions{SeqThreshold: 64}, func(lo, hi, worker int) {})
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	events, err := metrics.ReadEvents(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[int]int{}
+	for _, e := range events {
+		if e.Ev != "wspan" {
+			t.Fatalf("unexpected event %q from the pool", e.Ev)
+		}
+		seen[e.Worker]++
+		if e.Nanos < 0 {
+			t.Fatalf("negative wspan duration %d", e.Nanos)
+		}
+	}
+	if len(seen) != 2 || seen[0] != 1 || seen[1] != 1 {
+		t.Fatalf("wspan events per worker = %v, want one for each of 2 workers", seen)
 	}
 }

@@ -53,6 +53,7 @@ import (
 	"fmt"
 
 	"repro/internal/array"
+	"repro/internal/health"
 	"repro/internal/mempool"
 	"repro/internal/metrics"
 	"repro/internal/sched"
@@ -109,8 +110,15 @@ type Env struct {
 	Metrics *metrics.Collector
 	// Trace, when non-nil, receives structured V-cycle events — level
 	// transitions, kernel spans, iteration markers, solve summaries — as
-	// JSON lines. nil disables tracing for free.
+	// JSON lines. nil disables tracing for free. Prefer AttachTrace,
+	// which also wires the environment's own pool for per-worker span
+	// events.
 	Trace *metrics.Tracer
+	// Health, when non-nil, receives runtime convergence signals from the
+	// solver hooks: per-iteration residual norms, sampled NaN/Inf kernel
+	// guards, and (via the collector snapshot) worker load balance. nil
+	// disables monitoring at the cost of one nil check per hook site.
+	Health *health.Monitor
 }
 
 // Default returns the environment of the paper's sequential measurements:
@@ -145,7 +153,7 @@ func (e *Env) Close() {
 }
 
 // Observing reports whether any observability sink is attached.
-func (e *Env) Observing() bool { return e.Metrics != nil || e.Trace != nil }
+func (e *Env) Observing() bool { return e.Metrics != nil || e.Trace != nil || e.Health != nil }
 
 // AttachMetrics installs a collector on the environment and, when the
 // environment owns its pool, on the pool as well (per-worker busy time).
@@ -155,6 +163,17 @@ func (e *Env) AttachMetrics(c *metrics.Collector) {
 	e.Metrics = c
 	if e.Sched != nil && e.Sched != sched.Sequential {
 		e.Sched.SetMetrics(c)
+	}
+}
+
+// AttachTrace installs a tracer on the environment and, when the
+// environment owns its pool, on the pool as well (per-worker "wspan" busy
+// slices for the Perfetto worker tracks). Like AttachMetrics, the shared
+// Sequential pool is never mutated. AttachTrace(nil) detaches both.
+func (e *Env) AttachTrace(t *metrics.Tracer) {
+	e.Trace = t
+	if e.Sched != nil && e.Sched != sched.Sequential {
+		e.Sched.SetTracer(t)
 	}
 }
 
