@@ -233,8 +233,10 @@ func main() {
 		elapsed = time.Since(start)
 		st := s.Stats()
 		if !*quiet {
-			fmt.Printf("communication: %d messages, %.2f MB\n",
-				st.Messages, float64(st.Bytes)/1e6)
+			fmt.Printf("communication: %d messages, %.2f MB payload, %.3fs blocked in exchanges\n",
+				st.Messages, float64(st.Bytes)/1e6, time.Duration(st.ExchangeNanos).Seconds())
+			fmt.Println("(in-process channel transport; `mgrank` runs the same solve as real" +
+				" processes over TCP and additionally reports wire bytes)")
 		}
 	default:
 		fmt.Fprintln(os.Stderr, "mg: unknown -impl", *implName,

@@ -35,6 +35,13 @@
 // -cpuprofile/-memprofile wrap the selected figure's measurements with the
 // standard runtime/pprof collectors for kernel-level inspection.
 //
+// -fig dist compares the in-process channel transport against a real
+// multi-process TCP run (cmd/mgrank), asserting NPB verification and
+// bit-identical rnm2 on every rank:
+//
+//	go build -o mgrank ./cmd/mgrank
+//	mgbench -fig dist -mgrank ./mgrank -classes S,W -ranks 4
+//
 // The performance regression lab lives under -fig perf: repeated-sample
 // benchmark snapshots (internal/perfstat statistics over the
 // internal/metrics per-kernel attribution) saved as versioned JSON
@@ -76,7 +83,7 @@ import (
 
 func main() {
 	var (
-		fig         = flag.String("fig", "all", "figure to regenerate: 11, 12, 13, mpi, codesize, tune, perf, health or all")
+		fig         = flag.String("fig", "all", "figure to regenerate: 11, 12, 13, mpi, dist, codesize, tune, perf, health or all")
 		classes     = flag.String("classes", "S,W", "comma-separated size classes (paper: W,A)")
 		repeats     = flag.Int("repeats", 3, "repetitions per Fig. 11 measurement (best reported)")
 		procs       = flag.Int("procs", 10, "simulated processor count for Figs. 12/13")
@@ -94,6 +101,8 @@ func main() {
 		alpha       = flag.Float64("alpha", 0.01, "-fig perf: Mann-Whitney significance level of the regression test")
 		samples     = flag.Int("samples", 10, "-fig perf: recorded solves per (implementation, class)")
 		warmup      = flag.Int("warmup", 2, "-fig perf: discarded warm-up solves per (implementation, class)")
+		mgrankBin   = flag.String("mgrank", "", "-fig dist: path to a built cmd/mgrank binary")
+		distRanks   = flag.Int("ranks", 4, "-fig dist: number of mgrank processes")
 	)
 	flag.Parse()
 
@@ -212,6 +221,15 @@ func main() {
 				ranks = []int{1, 2, 4}
 			}
 			harness.RunMPIStats(out, class, ranks)
+		}
+	case "dist":
+		if *mgrankBin == "" {
+			fmt.Fprintln(os.Stderr, "mgbench: -fig dist needs -mgrank with a built cmd/mgrank binary")
+			os.Exit(2)
+		}
+		if err := harness.RunFigDist(out, *mgrankBin, classList, *distRanks); err != nil {
+			fmt.Fprintln(os.Stderr, "mgbench:", err)
+			os.Exit(1)
 		}
 	case "codesize":
 		if _, err := harness.RunCodeSize(out, *repo); err != nil {

@@ -1,0 +1,179 @@
+// Command mgrank is one rank of a distributed NAS-MG solve: N processes,
+// each running this binary with a distinct -rank, form a TCP mesh and
+// solve the slab-decomposed benchmark together — the multi-process
+// counterpart of `mg -impl mpi`, whose per-iteration rnm2 it matches
+// bit for bit.
+//
+// Rank 0 is the rendezvous point. It binds -addr (use :0 for an
+// ephemeral port), prints the bound address as
+//
+//	MGRANK LISTEN <host:port>
+//
+// on stdout, and waits for the other ranks. Every other rank dials that
+// address with -join:
+//
+//	mgrank -rank 0 -np 4 -class S -addr 127.0.0.1:15300 &
+//	mgrank -rank 1 -np 4 -class S -join 127.0.0.1:15300 &
+//	mgrank -rank 2 -np 4 -class S -join 127.0.0.1:15300 &
+//	mgrank -rank 3 -np 4 -class S -join 127.0.0.1:15300 &
+//	wait
+//
+// Each rank exits 0 only if its solve completed and the final rnm2
+// passed NPB verification. A dead or misbehaving peer surfaces as a
+// typed transport error within the -timeout deadline, printed to stderr
+// with the culprit rank named, and exit status 1 — never a hang.
+// -die-after-iter kills this rank abruptly (exit 3, sockets torn down
+// by the kernel) after the given V-cycle iteration, for fault-injection
+// tests.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"time"
+
+	"repro/internal/mgmpi"
+	"repro/internal/mpinet"
+	"repro/internal/nas"
+)
+
+// result is the -json report, one object per rank.
+type result struct {
+	Rank          int     `json:"rank"`
+	Ranks         int     `json:"np"`
+	Class         string  `json:"class"`
+	Rnm2          float64 `json:"rnm2"`
+	Rnm2Bits      uint64  `json:"rnm2Bits"` // exact bit pattern, for differential checks
+	Rnmu          float64 `json:"rnmu"`
+	Verified      bool    `json:"verified"`
+	Seconds       float64 `json:"seconds"`
+	Messages      uint64  `json:"messages"`
+	Bytes         uint64  `json:"bytes"`
+	WireBytes     uint64  `json:"wireBytes"`
+	ExchangeNanos int64   `json:"exchangeNanos"`
+}
+
+func main() {
+	var (
+		rank         = flag.Int("rank", 0, "this process's rank id, 0..np-1")
+		np           = flag.Int("np", 1, "world size (number of mgrank processes)")
+		className    = flag.String("class", "S", "NPB size class: S, W, A, B or C")
+		addr         = flag.String("addr", "127.0.0.1:0", "rank 0: rendezvous listen address (use :0 for an ephemeral port)")
+		join         = flag.String("join", "", "ranks 1..np-1: rendezvous address printed by rank 0")
+		jsonOut      = flag.Bool("json", false, "print the per-rank result as one JSON object")
+		timeout      = flag.Duration("timeout", 30*time.Second, "I/O deadline: a peer silent for this long is declared dead")
+		retries      = flag.Int("retries", 60, "rendezvous/mesh dial attempts")
+		backoff      = flag.Duration("backoff", 250*time.Millisecond, "pause between dial attempts")
+		dieAfterIter = flag.Int("die-after-iter", 0, "fault injection: exit(3) abruptly after this V-cycle iteration (0 = never)")
+	)
+	flag.Parse()
+
+	class, err := nas.ClassByName(*className)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	cfg := mpinet.Config{
+		Rank:        *rank,
+		Size:        *np,
+		Class:       class.Name,
+		DialRetries: *retries,
+		DialBackoff: *backoff,
+		IOTimeout:   *timeout,
+	}
+
+	var transport *mpinet.Transport
+	if *rank == 0 {
+		cfg.Addr = *addr
+		rz, err := mpinet.Listen(cfg)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		// The launcher (and harness.RunDistributed) scans stdout for
+		// this line to learn the ephemeral port before starting the
+		// other ranks.
+		fmt.Printf("MGRANK LISTEN %s\n", rz.Addr())
+		os.Stdout.Sync()
+		transport, err = rz.Accept()
+		if err != nil {
+			fatalf("rendezvous failed: %v", err)
+		}
+	} else {
+		if *join == "" {
+			fatalf("ranks 1..np-1 need -join with rank 0's rendezvous address")
+		}
+		cfg.Addr = *join
+		transport, err = mpinet.Join(cfg)
+		if err != nil {
+			fatalf("join failed: %v", err)
+		}
+	}
+	defer transport.Close()
+
+	solver, err := mgmpi.NewWithTransport(class, transport)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	if *dieAfterIter > 0 {
+		solver.OnIter = func(rank, iter int) {
+			if iter == *dieAfterIter {
+				fmt.Fprintf(os.Stderr, "mgrank: rank %d dying after iteration %d (fault injection)\n", rank, iter)
+				os.Exit(3)
+			}
+		}
+	}
+
+	// Communication failures surface as panics from the mpi.Comm veneer,
+	// already naming the peer rank and tag; turn them into a diagnosable
+	// non-zero exit.
+	var rnm2, rnmu float64
+	var seconds float64
+	err = func() (err error) {
+		defer func() {
+			if r := recover(); r != nil {
+				err = fmt.Errorf("%v", r)
+			}
+		}()
+		start := time.Now()
+		rnm2, rnmu = solver.RunRank()
+		seconds = time.Since(start).Seconds()
+		return nil
+	}()
+	if err != nil {
+		// Close before exiting so the queued abort relay (naming the
+		// dead rank) reaches the surviving peers — os.Exit would drop
+		// it on the floor and they would only see this process's EOF.
+		transport.Close()
+		fatalf("rank %d: solve failed: %v", *rank, err)
+	}
+
+	verified, known := class.Verify(rnm2)
+	ok := verified && known
+	st := solver.Stats()
+	if *jsonOut {
+		json.NewEncoder(os.Stdout).Encode(result{
+			Rank: *rank, Ranks: *np, Class: string(class.Name),
+			Rnm2: rnm2, Rnm2Bits: math.Float64bits(rnm2), Rnmu: rnmu,
+			Verified: ok, Seconds: seconds,
+			Messages: st.Messages, Bytes: st.Bytes,
+			WireBytes: st.WireBytes, ExchangeNanos: st.ExchangeNanos,
+		})
+	} else {
+		verdict := "VERIFICATION FAILED"
+		if ok {
+			verdict = "VERIFICATION SUCCESSFUL"
+		}
+		fmt.Printf("mgrank: rank %d/%d class %c: rnm2 %.10e  %s  (%.3fs, %d msgs, %d payload B, %d wire B)\n",
+			*rank, *np, class.Name, rnm2, verdict, seconds, st.Messages, st.Bytes, st.WireBytes)
+	}
+	if !ok {
+		os.Exit(1)
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "mgrank: "+format+"\n", args...)
+	os.Exit(1)
+}

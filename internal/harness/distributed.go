@@ -1,0 +1,253 @@
+package harness
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"os/exec"
+	"strings"
+	"time"
+
+	"repro/internal/mgmpi"
+	"repro/internal/nas"
+)
+
+// DistConfig describes a multi-process distributed run: N cmd/mgrank
+// processes on localhost, meshed over TCP.
+type DistConfig struct {
+	// Binary is the path to a built cmd/mgrank executable.
+	Binary string
+	// Class is the NPB size class to solve.
+	Class nas.Class
+	// Ranks is the world size (one process per rank).
+	Ranks int
+	// Timeout is the per-rank I/O deadline (mgrank -timeout); zero
+	// means 30s. The whole run is additionally bounded by twice this
+	// plus a launch allowance, so a wedged world returns, not hangs.
+	Timeout time.Duration
+	// ExtraArgs, when non-nil, appends per-rank flags — fault-injection
+	// tests use it to pass -die-after-iter to one rank.
+	ExtraArgs func(rank int) []string
+}
+
+// DistRank is one rank's observed outcome.
+type DistRank struct {
+	Rank     int
+	ExitCode int
+	Stdout   string
+	Stderr   string
+	// Result is the parsed -json report; nil when the rank exited
+	// without one (it died or failed before the solve completed).
+	Result *DistResult
+}
+
+// DistResult mirrors cmd/mgrank's -json object.
+type DistResult struct {
+	Rank          int     `json:"rank"`
+	Ranks         int     `json:"np"`
+	Class         string  `json:"class"`
+	Rnm2          float64 `json:"rnm2"`
+	Rnm2Bits      uint64  `json:"rnm2Bits"`
+	Rnmu          float64 `json:"rnmu"`
+	Verified      bool    `json:"verified"`
+	Seconds       float64 `json:"seconds"`
+	Messages      uint64  `json:"messages"`
+	Bytes         uint64  `json:"bytes"`
+	WireBytes     uint64  `json:"wireBytes"`
+	ExchangeNanos int64   `json:"exchangeNanos"`
+}
+
+// RunDistributed launches cfg.Ranks mgrank processes on localhost —
+// rank 0 on an ephemeral rendezvous port, the rest joining the address
+// it prints — waits for all of them, and returns the per-rank
+// outcomes. It errors only on launch-level failures (missing binary,
+// no rendezvous address, watchdog expiry); a rank failing its solve is
+// reported in its DistRank, which is the point of the fault-injection
+// tests.
+func RunDistributed(cfg DistConfig) ([]DistRank, error) {
+	if cfg.Ranks < 1 {
+		return nil, fmt.Errorf("harness: distributed run needs at least 1 rank, got %d", cfg.Ranks)
+	}
+	timeout := cfg.Timeout
+	if timeout == 0 {
+		timeout = 30 * time.Second
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*timeout+60*time.Second)
+	defer cancel()
+
+	args := func(rank int) []string {
+		a := []string{
+			"-rank", fmt.Sprint(rank),
+			"-np", fmt.Sprint(cfg.Ranks),
+			"-class", string(cfg.Class.Name),
+			"-timeout", timeout.String(),
+			"-json",
+		}
+		if rank == 0 {
+			a = append(a, "-addr", "127.0.0.1:0")
+		}
+		if cfg.ExtraArgs != nil {
+			a = append(a, cfg.ExtraArgs(rank)...)
+		}
+		return a
+	}
+
+	cmds := make([]*exec.Cmd, cfg.Ranks)
+	stdouts := make([]*bytes.Buffer, cfg.Ranks)
+	stderrs := make([]*bytes.Buffer, cfg.Ranks)
+
+	// Rank 0 first: its stdout leads with "MGRANK LISTEN <addr>", the
+	// rendezvous address the other ranks need.
+	cmd0 := exec.CommandContext(ctx, cfg.Binary, args(0)...)
+	pipe, err := cmd0.StdoutPipe()
+	if err != nil {
+		return nil, err
+	}
+	stdouts[0], stderrs[0] = &bytes.Buffer{}, &bytes.Buffer{}
+	cmd0.Stderr = stderrs[0]
+	if err := cmd0.Start(); err != nil {
+		return nil, fmt.Errorf("harness: starting rank 0 (%s): %w", cfg.Binary, err)
+	}
+	cmds[0] = cmd0
+	sc := bufio.NewScanner(pipe)
+	addr := ""
+	for sc.Scan() {
+		line := sc.Text()
+		if a, ok := strings.CutPrefix(line, "MGRANK LISTEN "); ok {
+			addr = a
+			break
+		}
+		stdouts[0].WriteString(line + "\n")
+	}
+	rest := make(chan struct{})
+	go func() {
+		defer close(rest)
+		io.Copy(stdouts[0], pipe)
+	}()
+	if addr == "" && cfg.Ranks > 1 {
+		cmd0.Process.Kill()
+		cmd0.Wait()
+		<-rest
+		return nil, fmt.Errorf("harness: rank 0 never printed its rendezvous address (stderr: %s)",
+			strings.TrimSpace(stderrs[0].String()))
+	}
+
+	for rank := 1; rank < cfg.Ranks; rank++ {
+		cmd := exec.CommandContext(ctx, cfg.Binary, append(args(rank), "-join", addr)...)
+		stdouts[rank], stderrs[rank] = &bytes.Buffer{}, &bytes.Buffer{}
+		cmd.Stdout, cmd.Stderr = stdouts[rank], stderrs[rank]
+		if err := cmd.Start(); err != nil {
+			for r := 0; r < rank; r++ {
+				cmds[r].Process.Kill()
+				cmds[r].Wait()
+			}
+			<-rest
+			return nil, fmt.Errorf("harness: starting rank %d: %w", rank, err)
+		}
+		cmds[rank] = cmd
+	}
+
+	results := make([]DistRank, cfg.Ranks)
+	for rank, cmd := range cmds {
+		err := cmd.Wait()
+		if rank == 0 {
+			<-rest
+		}
+		res := DistRank{
+			Rank:   rank,
+			Stdout: stdouts[rank].String(),
+			Stderr: stderrs[rank].String(),
+		}
+		if ee, ok := err.(*exec.ExitError); ok {
+			res.ExitCode = ee.ExitCode()
+		} else if err != nil {
+			res.ExitCode = -1
+			res.Stderr += "\n" + err.Error()
+		}
+		if ctx.Err() != nil {
+			return nil, fmt.Errorf("harness: distributed run exceeded its watchdog (%v): rank %d stderr: %s",
+				2*timeout+60*time.Second, rank, strings.TrimSpace(res.Stderr))
+		}
+		// The JSON report is the last line of stdout (rank 0's LISTEN
+		// line was consumed above).
+		lines := strings.Split(strings.TrimSpace(res.Stdout), "\n")
+		if last := lines[len(lines)-1]; strings.HasPrefix(last, "{") {
+			var dr DistResult
+			if err := json.Unmarshal([]byte(last), &dr); err == nil {
+				res.Result = &dr
+			}
+		}
+		results[rank] = res
+	}
+	return results, nil
+}
+
+// CheckDistributed asserts the acceptance bar of a healthy distributed
+// run: every rank exited 0 with a parsed report, every rank passed NPB
+// verification, and every rank's rnm2 is bit-identical to the
+// in-process channel-transport solve of the same class and rank count.
+// It returns the per-rank results for further inspection.
+func CheckDistributed(cfg DistConfig) ([]DistRank, error) {
+	results, err := RunDistributed(cfg)
+	if err != nil {
+		return nil, err
+	}
+	wantRnm2, _ := mgmpi.New(cfg.Class, cfg.Ranks).Run()
+	for _, r := range results {
+		switch {
+		case r.ExitCode != 0:
+			return results, fmt.Errorf("rank %d exited %d: %s", r.Rank, r.ExitCode, strings.TrimSpace(r.Stderr))
+		case r.Result == nil:
+			return results, fmt.Errorf("rank %d produced no JSON report: %q", r.Rank, r.Stdout)
+		case !r.Result.Verified:
+			return results, fmt.Errorf("rank %d failed NPB verification (rnm2 %v)", r.Rank, r.Result.Rnm2)
+		case r.Result.Rnm2Bits != math.Float64bits(wantRnm2):
+			return results, fmt.Errorf("rank %d rnm2 %x differs from channel transport %x",
+				r.Rank, r.Result.Rnm2, wantRnm2)
+		}
+	}
+	return results, nil
+}
+
+// RunFigDist runs the channel-vs-TCP transport comparison for each
+// class: the same slab-decomposed solve over the in-process channel
+// world and over ranks mgrank processes, reporting message counts,
+// payload and wire volume, and the bit-exactness of the result — the
+// EXPERIMENTS.md transport table and the CI distributed smoke test.
+func RunFigDist(w io.Writer, binary string, classes []nas.Class, ranks int) error {
+	fmt.Fprintf(w, "Distributed transport comparison — %d ranks, channel (in-process) vs TCP (multi-process)\n", ranks)
+	fmt.Fprintf(w, "%-8s %-9s %12s %14s %14s %12s\n", "class", "transport", "messages", "payload", "wire", "rnm2")
+	for _, class := range classes {
+		chanSolver := mgmpi.New(class, ranks)
+		chanRnm2, _ := chanSolver.Run()
+		cst := chanSolver.Stats()
+		fmt.Fprintf(w, "%-8c %-9s %12d %11.2f MB %14s %12.6e\n",
+			class.Name, "channel", cst.Messages, float64(cst.Bytes)/1e6, "—", chanRnm2)
+
+		results, err := CheckDistributed(DistConfig{Binary: binary, Class: class, Ranks: ranks})
+		if err != nil {
+			return fmt.Errorf("class %c: %w", class.Name, err)
+		}
+		var msgs, payload, wire uint64
+		for _, r := range results {
+			msgs += r.Result.Messages
+			payload += r.Result.Bytes
+			wire += r.Result.WireBytes
+		}
+		fmt.Fprintf(w, "%-8c %-9s %12d %11.2f MB %11.2f MB %12.6e\n",
+			class.Name, "tcp", msgs, float64(payload)/1e6, float64(wire)/1e6, results[0].Result.Rnm2)
+		if msgs != cst.Messages || payload != cst.Bytes {
+			return fmt.Errorf("class %c: communication volume diverged: tcp %d msgs/%d B, channel %d msgs/%d B",
+				class.Name, msgs, payload, cst.Messages, cst.Bytes)
+		}
+		fmt.Fprintf(w, "  class %c: VERIFICATION SUCCESSFUL on all %d ranks; rnm2 bit-identical to channel transport\n",
+			class.Name, ranks)
+	}
+	fmt.Fprintf(w, "Message counts and payload volume match by construction (same algorithm, same\n")
+	fmt.Fprintf(w, "decomposition); TCP additionally pays 20 bytes of framing per message.\n\n")
+	return nil
+}

@@ -1,0 +1,95 @@
+package harness
+
+import (
+	"fmt"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/nas"
+)
+
+// buildMgrank compiles cmd/mgrank into a temp dir once per test that
+// needs it.
+func buildMgrank(t *testing.T) string {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("multi-process test skipped in -short mode")
+	}
+	bin := filepath.Join(t.TempDir(), "mgrank")
+	cmd := exec.Command("go", "build", "-o", bin, "repro/cmd/mgrank")
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("building mgrank: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// TestRunDistributed is the distributed smoke test: a 4-rank class-S
+// solve across real processes over TCP must pass NPB verification on
+// every rank with rnm2 bit-identical to the in-process channel world.
+func TestRunDistributed(t *testing.T) {
+	bin := buildMgrank(t)
+	results, err := CheckDistributed(DistConfig{
+		Binary: bin,
+		Class:  nas.ClassS,
+		Ranks:  4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range results {
+		if r.Result.Seconds <= 0 {
+			t.Errorf("rank %d reported non-positive solve time %v", r.Rank, r.Result.Seconds)
+		}
+		if r.Result.WireBytes <= r.Result.Bytes && r.Result.Messages > 0 {
+			t.Errorf("rank %d wire bytes %d should exceed payload %d (framing)",
+				r.Rank, r.Result.WireBytes, r.Result.Bytes)
+		}
+	}
+}
+
+// TestDistributedDeadRank is the fault acceptance test: kill one rank
+// mid-solve and every survivor must exit non-zero with an error naming
+// the dead rank, within the configured deadline — never a hang.
+func TestDistributedDeadRank(t *testing.T) {
+	bin := buildMgrank(t)
+	const victim = 2
+	timeout := 5 * time.Second
+	start := time.Now()
+	results, err := RunDistributed(DistConfig{
+		Binary:  bin,
+		Class:   nas.ClassS,
+		Ranks:   4,
+		Timeout: timeout,
+		ExtraArgs: func(rank int) []string {
+			if rank == victim {
+				return []string{"-die-after-iter", "2"}
+			}
+			return nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Generous bound: detection must come from the abort cascade or a
+	// connection reset, not from waiting out a full solve.
+	if elapsed := time.Since(start); elapsed > 3*timeout {
+		t.Errorf("run took %v, want well under the watchdog (deadline %v)", elapsed, timeout)
+	}
+	for _, r := range results {
+		if r.Rank == victim {
+			if r.ExitCode != 3 {
+				t.Errorf("victim rank %d exit code = %d, want 3 (deliberate death)", r.Rank, r.ExitCode)
+			}
+			continue
+		}
+		if r.ExitCode == 0 {
+			t.Errorf("survivor rank %d exited 0 after a peer died mid-solve", r.Rank)
+		}
+		if !strings.Contains(r.Stderr, fmt.Sprintf("rank %d", victim)) {
+			t.Errorf("survivor rank %d stderr does not name the dead rank %d:\n%s", r.Rank, victim, r.Stderr)
+		}
+	}
+}

@@ -71,8 +71,14 @@ type Solver struct {
 	// rank), plus iteration markers and the whole-solve summary from
 	// rank 0. The tracer is safe for the ranks' concurrent emits.
 	Trace *metrics.Tracer
+	// OnIter, when non-nil, is invoked on every rank after each completed
+	// V-cycle iteration (1-based), before any intermediate norm
+	// reduction. cmd/mgrank uses it to kill a rank mid-solve at a
+	// deterministic point for fault-injection tests.
+	OnIter func(rank, iter int)
 
-	world *mpi.World
+	world     *mpi.World    // in-process mode (New/New3D)
+	transport mpi.Transport // single-rank mode (NewWithTransport)
 }
 
 // New creates a 1-D slab-decomposed solver over `ranks` ranks — the
@@ -83,23 +89,56 @@ func New(class nas.Class, ranks int) *Solver { return New3D(class, ranks, 1, 1) 
 // extent must be a power of two, and every distributed axis must keep at
 // least two cells per rank at some level (2·r ≤ class.N).
 func New3D(class nas.Class, r0, r1, r2 int) *Solver {
-	for _, r := range [3]int{r0, r1, r2} {
-		if r < 1 || r&(r-1) != 0 || (r > 1 && 2*r > class.N) {
-			panic(fmt.Sprintf("mgmpi: processor grid extents must be powers of two with 2*r <= %d, got (%d,%d,%d)",
-				class.N, r0, r1, r2))
-		}
+	if err := validateProcs(class, r0, r1, r2); err != nil {
+		panic(err.Error())
 	}
 	return &Solver{Class: class, Procs: [3]int{r0, r1, r2}, world: mpi.NewWorld(r0 * r1 * r2)}
+}
+
+func validateProcs(class nas.Class, r0, r1, r2 int) error {
+	for _, r := range [3]int{r0, r1, r2} {
+		if r < 1 || r&(r-1) != 0 || (r > 1 && 2*r > class.N) {
+			return fmt.Errorf("mgmpi: processor grid extents must be powers of two with 2*r <= %d, got (%d,%d,%d)",
+				class.N, r0, r1, r2)
+		}
+	}
+	return nil
+}
+
+// NewWithTransport creates one rank's view of a distributed solve over
+// an external transport — typically an mpinet TCP mesh, where each rank
+// is its own OS process and t is its endpoint. The processor grid is
+// the 1-D slab decomposition (t.Size(), 1, 1), matching New; the
+// algorithm (and therefore the per-iteration rnm2) is identical to the
+// in-process channel world. Run the solve with RunRank.
+func NewWithTransport(class nas.Class, t mpi.Transport) (*Solver, error) {
+	if err := validateProcs(class, t.Size(), 1, 1); err != nil {
+		return nil, err
+	}
+	return &Solver{Class: class, Procs: [3]int{t.Size(), 1, 1}, transport: t}, nil
 }
 
 // Ranks returns the world size.
 func (s *Solver) Ranks() int { return s.Procs[0] * s.Procs[1] * s.Procs[2] }
 
-// Stats returns the accumulated communication totals of all runs so far.
-func (s *Solver) Stats() mpi.Stats { return s.world.TotalStats() }
+// Stats returns the accumulated communication totals of all runs so
+// far: every rank's counters summed for an in-process world, this
+// process's rank alone in transport mode.
+func (s *Solver) Stats() mpi.Stats {
+	if s.world == nil {
+		return s.transport.Stats()
+	}
+	return s.world.TotalStats()
+}
 
-// RankStats returns the accumulated per-rank communication counters.
-func (s *Solver) RankStats() []mpi.Stats { return s.world.Stats() }
+// RankStats returns the accumulated per-rank communication counters (a
+// single entry — this process's rank — in transport mode).
+func (s *Solver) RankStats() []mpi.Stats {
+	if s.world == nil {
+		return []mpi.Stats{s.transport.Stats()}
+	}
+	return s.world.Stats()
+}
 
 // span times f and, with a tracer attached, emits it as a rank-tagged
 // span event at the finest level (nil tracer: just f()).
@@ -116,48 +155,72 @@ func (s *Solver) span(rank int, kernel string, f func()) {
 }
 
 // Run executes the full benchmark (reset, initial residual, Iter ×
-// (V-cycle + residual), norms) across the world and returns the final
-// NPB norms.
+// (V-cycle + residual), norms) across the in-process world and returns
+// the final NPB norms. Only valid for solvers built with New/New3D.
 func (s *Solver) Run() (rnm2, rnmu float64) {
 	results := make([][2]float64, s.Ranks())
 	s.world.Run(func(c *mpi.Comm) {
-		rank := c.Rank()
-		st := newRankState(c, s.Class, s.Procs)
-		st.reset()
-		start := time.Now()
-		s.span(rank, "resid", st.evalResid)
-		report := func(iter int, n2, nu float64) {
-			if s.IterNorms != nil && rank == 0 {
-				s.IterNorms(iter, n2, nu)
-			}
-		}
-		// norms() is collective; every rank must agree on whether the
-		// intermediate reductions run, which they do because IterNorms
-		// is read from the shared Solver.
-		if s.IterNorms != nil {
-			n2, nu := st.norms()
-			report(0, n2, nu)
-		}
-		for it := 0; it < s.Class.Iter; it++ {
-			if rank == 0 && s.Trace != nil {
-				s.Trace.Emit(metrics.Event{Ev: "iter", Iter: it + 1, Level: s.Class.LT()})
-			}
-			s.span(rank, "mg3P", st.mg3P)
-			s.span(rank, "resid", st.evalResid)
-			if s.IterNorms != nil && it+1 < s.Class.Iter {
-				n2, nu := st.norms()
-				report(it+1, n2, nu)
-			}
-		}
-		n2, nu := st.norms()
-		report(s.Class.Iter, n2, nu)
-		if rank == 0 && s.Trace != nil {
-			s.Trace.Emit(metrics.Event{Ev: "solve", Level: s.Class.LT(),
-				Nanos: int64(time.Since(start)), Iter: s.Class.Iter, Rnm2: n2})
-		}
-		results[rank] = [2]float64{n2, nu}
+		n2, nu := s.runRank(c)
+		results[c.Rank()] = [2]float64{n2, nu}
 	})
 	return results[0][0], results[0][1]
+}
+
+// RunRank executes this process's share of the benchmark over the
+// transport the solver was built with (NewWithTransport) and returns
+// the final NPB norms, valid on every rank (the norm reduction ends
+// with a broadcast). Communication failures — a dead peer, a corrupt
+// frame, a timeout — surface as panics from the mpi.Comm veneer naming
+// the rank and tag; the caller (cmd/mgrank) recovers them into an exit
+// status.
+func (s *Solver) RunRank() (rnm2, rnmu float64) {
+	if s.transport == nil {
+		panic("mgmpi: RunRank requires a solver built with NewWithTransport")
+	}
+	return s.runRank(mpi.NewComm(s.transport))
+}
+
+// runRank is the per-rank benchmark body, identical under both modes.
+func (s *Solver) runRank(c *mpi.Comm) (rnm2, rnmu float64) {
+	rank := c.Rank()
+	st := newRankState(c, s.Class, s.Procs)
+	st.reset()
+	start := time.Now()
+	s.span(rank, "resid", st.evalResid)
+	report := func(iter int, n2, nu float64) {
+		if s.IterNorms != nil && rank == 0 {
+			s.IterNorms(iter, n2, nu)
+		}
+	}
+	// norms() is collective; every rank must agree on whether the
+	// intermediate reductions run, which they do because IterNorms
+	// is read from the shared Solver (or the same flag passed to every
+	// mgrank process).
+	if s.IterNorms != nil {
+		n2, nu := st.norms()
+		report(0, n2, nu)
+	}
+	for it := 0; it < s.Class.Iter; it++ {
+		if rank == 0 && s.Trace != nil {
+			s.Trace.Emit(metrics.Event{Ev: "iter", Iter: it + 1, Level: s.Class.LT()})
+		}
+		s.span(rank, "mg3P", st.mg3P)
+		s.span(rank, "resid", st.evalResid)
+		if s.OnIter != nil {
+			s.OnIter(rank, it+1)
+		}
+		if s.IterNorms != nil && it+1 < s.Class.Iter {
+			n2, nu := st.norms()
+			report(it+1, n2, nu)
+		}
+	}
+	n2, nu := st.norms()
+	report(s.Class.Iter, n2, nu)
+	if rank == 0 && s.Trace != nil {
+		s.Trace.Emit(metrics.Event{Ev: "solve", Level: s.Class.LT(),
+			Nanos: int64(time.Since(start)), Iter: s.Class.Iter, Rnm2: n2})
+	}
+	return n2, nu
 }
 
 // --- per-rank state -------------------------------------------------------------

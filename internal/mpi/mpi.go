@@ -5,40 +5,71 @@
 // interesting" (§7). internal/mgmpi implements a domain-decomposed MG on
 // top of it; this package provides the SPMD substrate:
 //
-//   - World.Run launches one goroutine per rank and joins them;
-//   - point-to-point Send/Recv with (source, tag) matching and per-pair
-//     FIFO ordering;
-//   - collective Barrier, AllReduce and Broadcast with deterministic
+//   - the Transport interface (transport.go): point-to-point Send/Recv
+//     with (source, tag) matching and per-pair FIFO ordering, the seam
+//     that lets the same solver run on Go channels (this package) or on
+//     real TCP sockets (internal/mpinet);
+//   - World.Run, which launches one goroutine per rank over the channel
+//     transport and joins them;
+//   - Comm, the rank-facing communicator: blocking point-to-point ops
+//     plus collective Barrier, AllReduce and Broadcast with deterministic
 //     (rank-ordered) reduction — results are identical across runs;
 //   - per-rank traffic statistics (message and byte counts), the basis of
 //     the communication-cost reporting in EXPERIMENTS.md.
 //
-// The runtime is a simulation: all ranks share one address space and the
-// "network" is Go channels, so it measures communication *structure*
-// (counts, volumes, dependency patterns), not network latency.
+// The channel runtime is a simulation: all ranks share one address space
+// and the "network" is Go channels, so it measures communication
+// *structure* (counts, volumes, dependency patterns), not network
+// latency; its Stats report zero wire bytes because nothing is framed or
+// serialized. internal/mpinet is the same contract paying real costs.
 package mpi
 
 import (
 	"fmt"
 	"sync"
+	"time"
 )
 
-// Stats counts one rank's outgoing traffic.
+// Stats counts one rank's traffic.
 type Stats struct {
 	// Messages is the number of point-to-point sends (collectives are
 	// built from sends and are therefore included).
 	Messages uint64
 	// Bytes is the total payload volume sent, in bytes.
 	Bytes uint64
+	// WireBytes is the volume actually put on the wire, including
+	// framing (headers and checksums). The in-process channel transport
+	// reports zero: a simulated message pays no serialization.
+	WireBytes uint64
+	// ExchangeNanos is wall time spent blocked in communication (waiting
+	// for mailbox space or for a peer's message). The channel transport
+	// counts only blocked time — an immediate channel operation costs no
+	// measurable exchange — while a real transport also pays framing and
+	// kernel time on every call.
+	ExchangeNanos int64
 }
+
+// DefaultStall bounds how long a channel-transport Send may wait on a
+// full mailbox or a Recv on an empty one before failing with an error
+// naming the (rank, tag) pair. A healthy halo exchange waits
+// microseconds; minutes means the pairing is deadlocked. Override per
+// world with World.Stall.
+const DefaultStall = 2 * time.Minute
 
 // World is one SPMD program instance: a fixed set of ranks and their
 // mailboxes.
 type World struct {
+	// Stall overrides DefaultStall when positive: the longest a rank
+	// blocks in Send/Recv before the operation fails diagnosably.
+	Stall time.Duration
+
 	size    int
 	mail    [][]chan message // mail[src][dst]
 	stats   []Stats
 	barrier *barrier
+
+	aborted   chan struct{} // closed when any rank panics
+	abortOnce sync.Once
 }
 
 type message struct {
@@ -60,6 +91,7 @@ func NewWorld(size int) *World {
 		mail:    make([][]chan message, size),
 		stats:   make([]Stats, size),
 		barrier: newBarrier(size),
+		aborted: make(chan struct{}),
 	}
 	for src := 0; src < size; src++ {
 		w.mail[src] = make([]chan message, size)
@@ -83,15 +115,43 @@ func (w *World) TotalStats() Stats {
 	for _, s := range w.stats {
 		t.Messages += s.Messages
 		t.Bytes += s.Bytes
+		t.WireBytes += s.WireBytes
+		t.ExchangeNanos += s.ExchangeNanos
 	}
 	return t
 }
 
+// Transport returns the channel transport of one rank — the same
+// substrate World.Run wires up, for callers that drive a single rank
+// directly (tests, mgmpi.NewWithTransport differential runs).
+func (w *World) Transport(rank int) Transport {
+	if rank < 0 || rank >= w.size {
+		panic(fmt.Sprintf("mpi: invalid rank %d", rank))
+	}
+	return &chanTransport{w: w, rank: rank}
+}
+
+// stall returns the effective Send/Recv stall bound.
+func (w *World) stall() time.Duration {
+	if w.Stall > 0 {
+		return w.Stall
+	}
+	return DefaultStall
+}
+
+// abort marks the world failed: the barrier breaks and every rank
+// blocked in Send/Recv fails with a dead-peer error.
+func (w *World) abort() {
+	w.barrier.abort()
+	w.abortOnce.Do(func() { close(w.aborted) })
+}
+
 // Run executes body once per rank, concurrently, and waits for all ranks
 // to return. A panic on any rank is re-raised on the caller after the
-// remaining ranks have been given the chance to finish or deadlock-free
-// abort (their channels are buffered). Run may be called multiple times
-// on the same world; statistics accumulate.
+// remaining ranks have been given the chance to finish or abort: the
+// world's barrier breaks and blocked Send/Recv calls fail, so no rank
+// hangs on a dead peer. Run may be called multiple times on the same
+// world; statistics accumulate.
 func (w *World) Run(body func(c *Comm)) {
 	var (
 		wg       sync.WaitGroup
@@ -108,11 +168,11 @@ func (w *World) Run(body func(c *Comm)) {
 						panicked = fmt.Sprintf("mpi: rank %d panicked: %v", rank, r)
 					}
 					mu.Unlock()
-					w.barrier.abort()
+					w.abort()
 				}
 				wg.Done()
 			}()
-			body(&Comm{w: w, rank: rank})
+			body(NewComm(&chanTransport{w: w, rank: rank}))
 		}(rank)
 	}
 	wg.Wait()
@@ -121,109 +181,89 @@ func (w *World) Run(body func(c *Comm)) {
 	}
 }
 
-// Comm is one rank's communicator.
-type Comm struct {
+// --- channel transport --------------------------------------------------------
+
+// chanTransport is one rank's view of the in-process channel runtime: the
+// original simulated network, now behind the Transport seam. Fast paths
+// are the plain channel operations; only a full (or empty) mailbox takes
+// the slow path that watches for world aborts and the stall bound.
+type chanTransport struct {
 	w    *World
 	rank int
 }
 
-// Rank returns this rank's id, 0 <= Rank < Size.
-func (c *Comm) Rank() int { return c.rank }
+func (t *chanTransport) Rank() int { return t.rank }
+func (t *chanTransport) Size() int { return t.w.size }
 
-// Size returns the world size.
-func (c *Comm) Size() int { return c.w.size }
+// Stats returns this rank's counters.
+func (t *chanTransport) Stats() Stats { return t.w.stats[t.rank] }
 
-// Send transmits a copy of data to dst with the given tag. It blocks only
-// when the (src, dst) mailbox is full.
-func (c *Comm) Send(dst, tag int, data []float64) {
-	if dst < 0 || dst >= c.w.size {
-		panic(fmt.Sprintf("mpi: Send to invalid rank %d", dst))
+// Close is a no-op: the channel world owns no external resources.
+func (t *chanTransport) Close() error { return nil }
+
+// Barrier uses the world's shared in-process barrier.
+func (t *chanTransport) Barrier() error {
+	t.w.barrier.await()
+	return nil
+}
+
+func (t *chanTransport) Send(dst, tag int, data []float64) error {
+	w := t.w
+	if dst < 0 || dst >= w.size {
+		return fmt.Errorf("invalid rank %d (world size %d)", dst, w.size)
 	}
 	buf := make([]float64, len(data))
 	copy(buf, data)
-	c.w.mail[c.rank][dst] <- message{tag: tag, data: buf}
-	c.w.stats[c.rank].Messages++
-	c.w.stats[c.rank].Bytes += uint64(len(data)) * 8
+	m := message{tag: tag, data: buf}
+	select {
+	case w.mail[t.rank][dst] <- m:
+	default:
+		// Mailbox full: wait, but diagnosably — a world abort or the
+		// stall bound fails the send instead of deadlocking silently.
+		start := time.Now()
+		timer := time.NewTimer(w.stall())
+		defer timer.Stop()
+		select {
+		case w.mail[t.rank][dst] <- m:
+			w.stats[t.rank].ExchangeNanos += int64(time.Since(start))
+		case <-w.aborted:
+			return fmt.Errorf("world aborted while blocked on a full mailbox (peer rank %d may be dead)", dst)
+		case <-timer.C:
+			return fmt.Errorf("mailbox full for %v — no matching Recv on rank %d (deadlocked exchange?)",
+				time.Since(start).Round(time.Millisecond), dst)
+		}
+	}
+	w.stats[t.rank].Messages++
+	w.stats[t.rank].Bytes += uint64(len(data)) * 8
+	return nil
 }
 
-// Recv receives the next message from src, which must carry the expected
-// tag (messages between a pair of ranks are FIFO, so a tag mismatch is a
-// protocol error, not a reordering).
-func (c *Comm) Recv(src, tag int) []float64 {
-	if src < 0 || src >= c.w.size {
-		panic(fmt.Sprintf("mpi: Recv from invalid rank %d", src))
+func (t *chanTransport) Recv(src, tag int) ([]float64, error) {
+	w := t.w
+	if src < 0 || src >= w.size {
+		return nil, fmt.Errorf("invalid rank %d (world size %d)", src, w.size)
 	}
-	m := <-c.w.mail[src][c.rank]
+	var m message
+	select {
+	case m = <-w.mail[src][t.rank]:
+	default:
+		start := time.Now()
+		timer := time.NewTimer(w.stall())
+		defer timer.Stop()
+		select {
+		case m = <-w.mail[src][t.rank]:
+			w.stats[t.rank].ExchangeNanos += int64(time.Since(start))
+		case <-w.aborted:
+			return nil, fmt.Errorf("world aborted while waiting (peer rank %d may be dead)", src)
+		case <-timer.C:
+			return nil, fmt.Errorf("no message from rank %d for %v (deadlocked exchange?)",
+				src, time.Since(start).Round(time.Millisecond))
+		}
+	}
 	if m.tag != tag {
-		panic(fmt.Sprintf("mpi: rank %d: expected tag %d from rank %d, got %d",
-			c.rank, tag, src, m.tag))
+		return nil, fmt.Errorf("expected tag %d, got tag %d", tag, m.tag)
 	}
-	return m.data
-}
-
-// SendRecv exchanges buffers with two (possibly equal) partners: sends
-// sendData to dst and receives from src, in an order that cannot deadlock
-// for buffered mailboxes.
-func (c *Comm) SendRecv(dst, src, tag int, sendData []float64) []float64 {
-	c.Send(dst, tag, sendData)
-	return c.Recv(src, tag)
-}
-
-// Barrier blocks until every rank has reached it.
-func (c *Comm) Barrier() { c.w.barrier.await() }
-
-// AllReduce combines one value from every rank with op, applied in
-// ascending rank order (deterministic), and returns the result on every
-// rank. The reduction is implemented as gather-to-zero plus broadcast.
-func (c *Comm) AllReduce(tag int, x float64, op func(a, b float64) float64) float64 {
-	if c.w.size == 1 {
-		return x
-	}
-	if c.rank == 0 {
-		acc := x
-		for src := 1; src < c.w.size; src++ {
-			v := c.Recv(src, tag)
-			acc = op(acc, v[0])
-		}
-		for dst := 1; dst < c.w.size; dst++ {
-			c.Send(dst, tag, []float64{acc})
-		}
-		return acc
-	}
-	c.Send(0, tag, []float64{x})
-	return c.Recv(0, tag)[0]
-}
-
-// AllReduceSum is AllReduce with addition.
-func (c *Comm) AllReduceSum(tag int, x float64) float64 {
-	return c.AllReduce(tag, x, func(a, b float64) float64 { return a + b })
-}
-
-// AllReduceMax is AllReduce with max.
-func (c *Comm) AllReduceMax(tag int, x float64) float64 {
-	return c.AllReduce(tag, x, func(a, b float64) float64 {
-		if b > a {
-			return b
-		}
-		return a
-	})
-}
-
-// Broadcast distributes root's buffer to every rank and returns it (the
-// root returns its own buffer unchanged).
-func (c *Comm) Broadcast(tag, root int, data []float64) []float64 {
-	if c.w.size == 1 {
-		return data
-	}
-	if c.rank == root {
-		for dst := 0; dst < c.w.size; dst++ {
-			if dst != root {
-				c.Send(dst, tag, data)
-			}
-		}
-		return data
-	}
-	return c.Recv(root, tag)
+	return m.data, nil
 }
 
 // --- reusable barrier ---------------------------------------------------------

@@ -1,10 +1,12 @@
 package mpi
 
 import (
+	"fmt"
 	"strings"
 	"sync/atomic"
 	"testing"
 	"testing/quick"
+	"time"
 )
 
 func TestWorldSizeValidation(t *testing.T) {
@@ -302,3 +304,139 @@ func TestWorldSize(t *testing.T) {
 		t.Fatal("World.Size wrong")
 	}
 }
+
+// A Send stuck on a full mailbox must fail within the stall bound with a
+// message naming the destination rank and the tag — the information a
+// deadlocked halo exchange needs to be diagnosable.
+func TestSendFullMailboxDiagnostics(t *testing.T) {
+	w := NewWorld(2)
+	w.Stall = 30 * time.Millisecond
+	var msg string
+	func() {
+		defer func() { recover() }() // Run re-raises rank 0's panic
+		w.Run(func(c *Comm) {
+			if c.Rank() != 0 {
+				return
+			}
+			defer func() {
+				if r := recover(); r != nil {
+					msg = fmt.Sprint(r)
+					panic(r)
+				}
+			}()
+			for i := 0; ; i++ {
+				c.Send(1, 42, []float64{float64(i)})
+			}
+		})
+	}()
+	for _, want := range []string{"rank 1", "tag 42", "mailbox full"} {
+		if !strings.Contains(msg, want) {
+			t.Fatalf("stalled Send panic %q does not mention %q", msg, want)
+		}
+	}
+}
+
+// A Recv blocked on a rank that has died (panicked) must fail promptly
+// with a message naming the source rank and the tag.
+func TestRecvFromDeadRankNamesRankAndTag(t *testing.T) {
+	w := NewWorld(2)
+	var msg string
+	func() {
+		defer func() { recover() }() // Run re-raises rank 1's panic
+		w.Run(func(c *Comm) {
+			if c.Rank() == 1 {
+				panic("rank 1 dies")
+			}
+			defer func() {
+				if r := recover(); r != nil {
+					msg = fmt.Sprint(r)
+				}
+			}()
+			c.Recv(1, 7)
+		})
+	}()
+	for _, want := range []string{"rank 1", "tag 7", "dead"} {
+		if !strings.Contains(msg, want) {
+			t.Fatalf("dead-peer Recv panic %q does not mention %q", msg, want)
+		}
+	}
+}
+
+// A Recv with no matching Send must fail at the stall bound, not hang.
+func TestRecvStallTimesOut(t *testing.T) {
+	w := NewWorld(2)
+	w.Stall = 30 * time.Millisecond
+	start := time.Now()
+	var msg string
+	func() {
+		defer func() { recover() }()
+		w.Run(func(c *Comm) {
+			if c.Rank() != 0 {
+				return
+			}
+			defer func() {
+				if r := recover(); r != nil {
+					msg = fmt.Sprint(r)
+					panic(r)
+				}
+			}()
+			c.Recv(1, 3)
+		})
+	}()
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("stalled Recv took %v, want ~30ms", elapsed)
+	}
+	for _, want := range []string{"rank 1", "tag 3"} {
+		if !strings.Contains(msg, want) {
+			t.Fatalf("stalled Recv panic %q does not mention %q", msg, want)
+		}
+	}
+}
+
+// The channel transport implements the Transport seam directly: a pair of
+// transports moves data without World.Run, and blocked exchange time is
+// accounted in the stats.
+func TestWorldTransportDirect(t *testing.T) {
+	w := NewWorld(2)
+	t0, t1 := w.Transport(0), w.Transport(1)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		data, err := t1.Recv(0, 5)
+		if err != nil || len(data) != 2 || data[1] != 8 {
+			t.Errorf("Recv = %v, %v", data, err)
+		}
+	}()
+	time.Sleep(10 * time.Millisecond) // let the receiver block (slow path)
+	if err := t0.Send(1, 5, []float64{7, 8}); err != nil {
+		t.Fatal(err)
+	}
+	<-done
+	if st := w.Stats()[1]; st.ExchangeNanos <= 0 {
+		t.Fatalf("blocked Recv recorded no exchange time: %+v", st)
+	}
+	if st := w.Stats()[0]; st.Messages != 1 || st.Bytes != 16 || st.WireBytes != 0 {
+		t.Fatalf("sender stats = %+v (channel transport must report zero wire bytes)", st)
+	}
+}
+
+// The message-based barrier fallback (used by transports without a native
+// barrier) synchronizes and is reusable.
+func TestMessageBarrierFallback(t *testing.T) {
+	w := NewWorld(3)
+	var before atomic.Int32
+	w.Run(func(c *Comm) {
+		// Strip the native barrier by re-wrapping the raw transport.
+		cc := NewComm(noBarrier{c.Transport()})
+		before.Add(1)
+		cc.Barrier()
+		if before.Load() != 3 {
+			t.Errorf("rank %d passed the message barrier with before = %d", c.Rank(), before.Load())
+		}
+		cc.Barrier() // reusable
+	})
+}
+
+// noBarrier hides the channel transport's native barrier so Comm takes
+// the message-based path.
+type noBarrier struct{ Transport }

@@ -1,0 +1,173 @@
+package mpi
+
+import "fmt"
+
+// Transport is the point-to-point substrate one rank runs on: the
+// contract is MPI-flavoured — Send/Recv with (source, tag) matching and
+// FIFO ordering per (src, dst) pair — but says nothing about how bytes
+// move. Two implementations exist:
+//
+//   - the channel runtime in this package (all ranks in one address
+//     space, the "network" is Go channels — the simulation the original
+//     future-work comparison runs on), and
+//   - internal/mpinet, a real TCP transport with framed messages,
+//     checksums and per-peer writer goroutines, for runs where every
+//     rank is its own OS process (cmd/mgrank).
+//
+// Errors are returned, not panicked, so a transport can report a dead
+// peer, a timeout or a corrupt frame precisely; Comm converts them to
+// panics that name the (rank, tag) pair, which is what a stuck halo
+// exchange needs to be diagnosable.
+//
+// A Transport is used by a single rank. Send and Recv may be called from
+// multiple goroutines of that rank, but two goroutines must not Recv
+// from the same source concurrently (messages would race for the tag).
+type Transport interface {
+	// Rank returns this rank's id, 0 <= Rank < Size.
+	Rank() int
+	// Size returns the world size.
+	Size() int
+	// Send transmits a copy of data to dst with the given tag. It blocks
+	// only for backpressure (a full peer queue) and must preserve
+	// per-(src, dst) FIFO ordering.
+	Send(dst, tag int, data []float64) error
+	// Recv blocks for the next message from src, which must carry the
+	// expected tag (per-pair FIFO makes a mismatch a protocol error, not
+	// a reordering).
+	Recv(src, tag int) ([]float64, error)
+	// Stats snapshots this rank's accumulated traffic counters.
+	Stats() Stats
+	// Close tears down the rank's connections. It must be safe to call
+	// more than once and must unblock pending Send/Recv calls.
+	Close() error
+}
+
+// barrierTransport is implemented by transports with a native barrier
+// (the channel runtime uses a shared in-process barrier). Comm falls
+// back to a message-based barrier otherwise.
+type barrierTransport interface {
+	Barrier() error
+}
+
+// tagInternal is the tag space reserved for Comm-level collectives built
+// on Send/Recv (the message-based barrier). Negative tags never collide
+// with application tags, which are conventionally small positive ints.
+const tagInternal = -1
+
+// Comm is one rank's communicator: the blocking, panic-on-error API the
+// solver kernels program against, plus deterministic collectives built
+// from point-to-point messages. A Comm is a thin veneer over a
+// Transport; NewComm adapts any transport, and World.Run hands each rank
+// a Comm over the in-process channel transport.
+type Comm struct {
+	t Transport
+}
+
+// NewComm wraps a transport in the communicator API.
+func NewComm(t Transport) *Comm { return &Comm{t: t} }
+
+// Transport returns the underlying transport.
+func (c *Comm) Transport() Transport { return c.t }
+
+// Rank returns this rank's id, 0 <= Rank < Size.
+func (c *Comm) Rank() int { return c.t.Rank() }
+
+// Size returns the world size.
+func (c *Comm) Size() int { return c.t.Size() }
+
+// Send transmits a copy of data to dst with the given tag. It blocks
+// only for backpressure; a transport failure (dead peer, stalled
+// mailbox, timeout) panics with the (rank, tag) pair so a stuck exchange
+// names the culprit.
+func (c *Comm) Send(dst, tag int, data []float64) {
+	if err := c.t.Send(dst, tag, data); err != nil {
+		panic(fmt.Sprintf("mpi: rank %d: Send to rank %d (tag %d): %v",
+			c.t.Rank(), dst, tag, err))
+	}
+}
+
+// Recv receives the next message from src, which must carry the expected
+// tag. Transport failures panic with the (rank, tag) pair.
+func (c *Comm) Recv(src, tag int) []float64 {
+	data, err := c.t.Recv(src, tag)
+	if err != nil {
+		panic(fmt.Sprintf("mpi: rank %d: Recv from rank %d (tag %d): %v",
+			c.t.Rank(), src, tag, err))
+	}
+	return data
+}
+
+// SendRecv exchanges buffers with two (possibly equal) partners: sends
+// sendData to dst and receives from src, in an order that cannot
+// deadlock for buffered transports.
+func (c *Comm) SendRecv(dst, src, tag int, sendData []float64) []float64 {
+	c.Send(dst, tag, sendData)
+	return c.Recv(src, tag)
+}
+
+// Barrier blocks until every rank has reached it. Transports with a
+// native barrier use it; otherwise the barrier is a gather-to-zero plus
+// broadcast over a reserved tag.
+func (c *Comm) Barrier() {
+	if b, ok := c.t.(barrierTransport); ok {
+		if err := b.Barrier(); err != nil {
+			panic(fmt.Sprintf("mpi: rank %d: Barrier: %v", c.t.Rank(), err))
+		}
+		return
+	}
+	c.AllReduceSum(tagInternal, 0)
+}
+
+// AllReduce combines one value from every rank with op, applied in
+// ascending rank order (deterministic), and returns the result on every
+// rank. The reduction is implemented as gather-to-zero plus broadcast.
+func (c *Comm) AllReduce(tag int, x float64, op func(a, b float64) float64) float64 {
+	if c.Size() == 1 {
+		return x
+	}
+	if c.Rank() == 0 {
+		acc := x
+		for src := 1; src < c.Size(); src++ {
+			v := c.Recv(src, tag)
+			acc = op(acc, v[0])
+		}
+		for dst := 1; dst < c.Size(); dst++ {
+			c.Send(dst, tag, []float64{acc})
+		}
+		return acc
+	}
+	c.Send(0, tag, []float64{x})
+	return c.Recv(0, tag)[0]
+}
+
+// AllReduceSum is AllReduce with addition.
+func (c *Comm) AllReduceSum(tag int, x float64) float64 {
+	return c.AllReduce(tag, x, func(a, b float64) float64 { return a + b })
+}
+
+// AllReduceMax is AllReduce with max.
+func (c *Comm) AllReduceMax(tag int, x float64) float64 {
+	return c.AllReduce(tag, x, func(a, b float64) float64 {
+		if b > a {
+			return b
+		}
+		return a
+	})
+}
+
+// Broadcast distributes root's buffer to every rank and returns it (the
+// root returns its own buffer unchanged).
+func (c *Comm) Broadcast(tag, root int, data []float64) []float64 {
+	if c.Size() == 1 {
+		return data
+	}
+	if c.Rank() == root {
+		for dst := 0; dst < c.Size(); dst++ {
+			if dst != root {
+				c.Send(dst, tag, data)
+			}
+		}
+		return data
+	}
+	return c.Recv(root, tag)
+}

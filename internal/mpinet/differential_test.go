@@ -1,0 +1,101 @@
+package mpinet
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"repro/internal/mgmpi"
+	"repro/internal/nas"
+)
+
+// TestTCPMatchesChannelTransport is the transport differential test:
+// the same class-S 4-rank solve run over the in-process channel world
+// and over a real TCP mesh must produce bit-identical rnm2 at every
+// iteration — the wire format round-trips float64 exactly, and the
+// transport must not perturb the algorithm. Message and payload counts
+// must match too (the TCP run pays framing on top, which is what
+// WireBytes reports).
+func TestTCPMatchesChannelTransport(t *testing.T) {
+	const ranks = 4
+	class := nas.ClassS
+
+	chanSolver := mgmpi.New(class, ranks)
+	var chanIters []float64
+	chanSolver.IterNorms = func(iter int, rnm2, rnmu float64) {
+		chanIters = append(chanIters, rnm2)
+	}
+	chanRnm2, chanRnmu := chanSolver.Run()
+
+	world := localWorld(t, ranks, nil)
+	var tcpIters []float64
+	finals := make([][2]float64, ranks)
+	errs := make([]error, ranks)
+	var wg sync.WaitGroup
+	for _, tr := range world {
+		wg.Add(1)
+		go func(tr *Transport) {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					t.Errorf("rank %d panicked: %v", tr.Rank(), r)
+				}
+			}()
+			s, err := mgmpi.NewWithTransport(class, tr)
+			if err != nil {
+				errs[tr.Rank()] = err
+				return
+			}
+			// The IterNorms flag is collective: every rank must enable
+			// the intermediate reductions; only rank 0 is called back.
+			s.IterNorms = func(iter int, rnm2, rnmu float64) {
+				tcpIters = append(tcpIters, rnm2)
+			}
+			n2, nu := s.RunRank()
+			finals[tr.Rank()] = [2]float64{n2, nu}
+		}(tr)
+	}
+	wg.Wait()
+	for rank, err := range errs {
+		if err != nil {
+			t.Fatalf("rank %d: %v", rank, err)
+		}
+	}
+
+	if len(tcpIters) != len(chanIters) {
+		t.Fatalf("iteration count: TCP reported %d norms, channel %d", len(tcpIters), len(chanIters))
+	}
+	for i := range chanIters {
+		if math.Float64bits(tcpIters[i]) != math.Float64bits(chanIters[i]) {
+			t.Errorf("iter %d: rnm2 differs: TCP %x, channel %x", i, tcpIters[i], chanIters[i])
+		}
+	}
+	for rank, f := range finals {
+		if math.Float64bits(f[0]) != math.Float64bits(chanRnm2) || math.Float64bits(f[1]) != math.Float64bits(chanRnmu) {
+			t.Errorf("rank %d final norms (%x, %x) != channel (%x, %x)", rank, f[0], f[1], chanRnm2, chanRnmu)
+		}
+	}
+	if verified, ok := class.Verify(chanRnm2); !ok || !verified {
+		t.Errorf("channel rnm2 %v fails NPB verification", chanRnm2)
+	}
+
+	// Communication volume: identical message count and payload bytes;
+	// TCP additionally pays exactly frameOverhead per message.
+	chanStats := chanSolver.Stats()
+	var tcpMsgs, tcpBytes, tcpWire uint64
+	for _, tr := range world {
+		st := tr.Stats()
+		tcpMsgs += st.Messages
+		tcpBytes += st.Bytes
+		tcpWire += st.WireBytes
+	}
+	if tcpMsgs != chanStats.Messages {
+		t.Errorf("messages: TCP %d, channel %d", tcpMsgs, chanStats.Messages)
+	}
+	if tcpBytes != chanStats.Bytes {
+		t.Errorf("payload bytes: TCP %d, channel %d", tcpBytes, chanStats.Bytes)
+	}
+	if want := tcpBytes + tcpMsgs*frameOverhead; tcpWire != want {
+		t.Errorf("wire bytes: got %d, want payload+framing = %d", tcpWire, want)
+	}
+}
