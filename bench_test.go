@@ -262,6 +262,29 @@ func BenchmarkSACTiled(b *testing.B) {
 	}
 }
 
+// BenchmarkSACVariant sweeps the plane-kernel inner-loop backends over
+// the whole benchmark: scalar (tiled loops), buffered (line-buffer row
+// memoisation) and simd (AVX2 fills and combines where available). All
+// three produce bit-identical results (TestBufferedBitIdentical); this
+// measures what the equivalence buys.
+func BenchmarkSACVariant(b *testing.B) {
+	for _, class := range []nas.Class{nas.ClassS, nas.ClassW} {
+		for _, variant := range []string{tune.VariantScalar, tune.VariantBuffered, tune.VariantSIMD} {
+			b.Run(fmt.Sprintf("%s_class%c", variant, class.Name), func(b *testing.B) {
+				env := wl.Default()
+				defer env.Close()
+				env.Variant = variant
+				bench := core.NewBenchmark(class, env)
+				bench.Reset()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					bench.Solve()
+				}
+			})
+		}
+	}
+}
+
 // BenchmarkSACTuned compares the static default schedule against a
 // calibrated per-(kernel, level) plan. Calibration runs before the timer.
 func BenchmarkSACTuned(b *testing.B) {

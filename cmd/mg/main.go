@@ -57,6 +57,7 @@ import (
 	"repro/internal/nas"
 	"repro/internal/periodic"
 	"repro/internal/sched"
+	"repro/internal/tune"
 	wl "repro/internal/withloop"
 )
 
@@ -75,8 +76,15 @@ func main() {
 		traceFile  = flag.String("trace", "", "write a JSON-lines V-cycle event trace (sac and mpi) to this file")
 		httpAddr   = flag.String("http", "", "serve expvar (/debug/vars, incl. mg.metrics), pprof and Prometheus /metrics on this address while running")
 		withHealth = flag.Bool("health", false, "monitor convergence health (sac only) and print the verdict")
+		variant    = flag.String("variant", "", "force the plane-kernel backend (sac only): scalar, buffered or simd (default: per-level autotuner choice)")
 	)
 	flag.Parse()
+
+	if *variant != "" && !tune.ValidVariant(*variant) {
+		fmt.Fprintf(os.Stderr, "mg: unknown -variant %q (want %s, %s or %s)\n",
+			*variant, tune.VariantScalar, tune.VariantBuffered, tune.VariantSIMD)
+		os.Exit(2)
+	}
 
 	if *jsonOut {
 		*quiet = true
@@ -147,6 +155,7 @@ func main() {
 			os.Exit(2)
 		}
 		env.Opt = wl.OptLevel(*opt)
+		env.Variant = *variant
 		o.attach(env)
 		b := core.NewBenchmark(class, env)
 		b.Reset()
@@ -156,7 +165,7 @@ func main() {
 		solution = b.U()
 		env.Close()
 		if *withStats {
-			o.snapshot().WriteReport(os.Stdout, core.KernelCosts)
+			o.snapshot().WriteReport(os.Stdout, core.KernelCost)
 		}
 		if *withHealth && !*quiet {
 			o.healthReport().WriteText(os.Stdout)

@@ -59,7 +59,7 @@ func promHandler(o *obs) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		snap := o.snapshot()
-		snap.WritePrometheus(w, core.KernelCosts)
+		snap.WritePrometheus(w, core.KernelCost)
 		o.monitor.Report(snap).WritePrometheus(w)
 	}
 }

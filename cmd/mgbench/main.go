@@ -103,8 +103,23 @@ func main() {
 		warmup      = flag.Int("warmup", 2, "-fig perf: discarded warm-up solves per (implementation, class)")
 		mgrankBin   = flag.String("mgrank", "", "-fig dist: path to a built cmd/mgrank binary")
 		distRanks   = flag.Int("ranks", 4, "-fig dist: number of mgrank processes")
+		variant     = flag.String("variant", "", "force the SAC plane-kernel backend: scalar, buffered or simd (default: per-level autotuner choice)")
 	)
 	flag.Parse()
+
+	if *variant != "" && !tune.ValidVariant(*variant) {
+		fmt.Fprintf(os.Stderr, "mgbench: unknown -variant %q (want %s, %s or %s)\n",
+			*variant, tune.VariantScalar, tune.VariantBuffered, tune.VariantSIMD)
+		os.Exit(2)
+	}
+	if *variant != "" {
+		prev := harness.SACEnv
+		harness.SACEnv = func() *wl.Env {
+			e := prev()
+			e.Variant = *variant
+			return e
+		}
+	}
 
 	var classList []nas.Class
 	for _, name := range strings.Split(*classes, ",") {
@@ -171,7 +186,7 @@ func main() {
 		}
 		defer func() {
 			if collector != nil {
-				collector.Snapshot().WriteReport(out, core.KernelCosts)
+				collector.Snapshot().WriteReport(out, core.KernelCost)
 			}
 		}()
 	}

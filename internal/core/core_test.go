@@ -447,3 +447,63 @@ func TestTiledKernelsBitIdentical(t *testing.T) {
 		check(t, env)
 	})
 }
+
+// TestBufferedBitIdentical: the line-buffered and simd kernel variants
+// must reproduce the sequential scalar run bit-for-bit — norms and the
+// full solution grid — across worker counts and scheduling policies.
+// This is the contract that lets the autotuner switch variants freely
+// without perturbing NPB verification (see the package comment's
+// "Kernel variants" section).
+func TestBufferedBitIdentical(t *testing.T) {
+	refB := NewBenchmark(nas.ClassS, wl.Default())
+	refN2, refNU := refB.Run()
+	refU := refB.U().Clone()
+
+	check := func(t *testing.T, env *wl.Env) {
+		defer env.Close()
+		b := NewBenchmark(nas.ClassS, env)
+		rnm2, rnmu := b.Run()
+		if rnm2 != refN2 || rnmu != refNU {
+			t.Fatalf("norms (%.17e, %.17e) != scalar reference (%.17e, %.17e)",
+				rnm2, rnmu, refN2, refNU)
+		}
+		if !b.U().Equal(refU) {
+			t.Fatalf("solution grid differs from scalar reference (max diff %g)",
+				b.U().MaxAbsDiff(refU))
+		}
+	}
+
+	variants := []string{tune.VariantBuffered, tune.VariantSIMD}
+	for _, variant := range variants {
+		for _, workers := range []int{1, 2, 4, 8} {
+			policies := sched.Policies()
+			if workers == 1 {
+				policies = policies[:1] // policy is irrelevant on one worker
+			}
+			for _, policy := range policies {
+				env := wl.Parallel(workers)
+				env.ForOpt.Policy = policy
+				env.Variant = variant
+				t.Run(fmt.Sprintf("%s_w%d_%s", variant, workers, policy), func(t *testing.T) {
+					check(t, env)
+				})
+			}
+		}
+	}
+
+	// A calibrating tuner now cycles variant plans too (scalar, buffered
+	// and — where available — simd candidates interleave mid-run).
+	t.Run("tuner_calibrating_variants", func(t *testing.T) {
+		env := wl.Parallel(4)
+		env.Tune = tune.New(env.Workers())
+		env.Tune.Trials = 1
+		check(t, env)
+	})
+
+	// An unknown forced variant must degrade to scalar, not misbehave.
+	t.Run("unknown_variant_is_scalar", func(t *testing.T) {
+		env := wl.Parallel(2)
+		env.Variant = "turbo"
+		check(t, env)
+	})
+}

@@ -14,9 +14,10 @@
 //	                               grid is read once instead of twice)
 //
 // Each folded kernel reproduces the unfolded composition bit-for-bit
-// (modulo the sign of zero): neighbour sums accumulate in the same
-// lexicographic order as the generic stencil kernel, and additions of
-// exact zeros — which is all the folded forms eliminate — cannot change an
+// (modulo the sign of zero): neighbour sums fold in the canonical
+// line-buffer-compatible association of internal/stencil (its package
+// comment defines the u1/u2/s1/s2/s3 grouping), and additions of exact
+// zeros — which is all the folded forms eliminate — cannot change an
 // IEEE-754 sum. The package test TestOptLevelsBitIdentical holds the O3
 // pipeline to that contract.
 //
@@ -24,16 +25,39 @@
 //
 // Every kernel traverses its interior planes under an execution plan
 // resolved per (kernel, level) through Env.PlanFor: scheduling policy,
-// chunk, sequential threshold and a j/k cache-tile edge (internal/tune;
-// Env.Tile forces a tile without a tuner). Within a plane the j/k loops
-// are blocked into tile×tile strips and the nine stencil row bases roll
-// forward by one row stride per j step instead of being recomputed with
-// per-row multiplies. Tiling only permutes writes of independent output
-// elements, so any tile size is bit-identical to the untiled traversal;
-// the norm accumulation of subRelaxNorm keeps per-row running partials
-// (always left-to-right in k) folded in ascending row and plane order, so
-// it too is invariant under tile size, worker count and policy
+// chunk, sequential threshold, a j/k cache-tile edge, and the inner-loop
+// kernel variant (internal/tune; Env.Tile and Env.Variant force values
+// without a tuner). Within a plane the j/k loops are blocked into
+// tile×tile strips and the nine stencil row bases roll forward by one row
+// stride per j step instead of being recomputed with per-row multiplies.
+// Tiling only permutes writes of independent output elements, so any tile
+// size is bit-identical to the untiled traversal; the norm accumulation
+// of subRelaxNorm keeps per-row running partials (always left-to-right in
+// k) folded in ascending row and plane order, so it too is invariant
+// under tile size, worker count and policy
 // (TestTiledKernelsBitIdentical).
+//
+// # Kernel variants
+//
+// Each plane kernel has three interchangeable inner-loop backends,
+// selected per (kernel, level) by the plan's Kernel field:
+//
+//   - scalar: the tiled loops above, u1/u2 sub-sums expanded inline.
+//   - buffered: the f77 line-buffer form — u1/u2 memoised in two
+//     mempool-backed row buffers threaded through the j sweep, cutting
+//     the additions per element from 26 to 14. Because the buffers hold
+//     exactly the canonical sub-sums, the results (grids and norms) are
+//     bit-identical to scalar; buffered plans ignore the tile edge (the
+//     buffers already serialise a full row through the cache).
+//   - simd: the buffered form with the buffer fills and the combine loop
+//     vectorised 4-wide (internal/simd; AVX2 on amd64, a pure-Go fallback
+//     elsewhere). Lane arithmetic executes the same per-element operation
+//     tree, so simd output is bit-identical too — the combine rows always
+//     apply all four coefficient terms (like the generic O0 kernel) where
+//     the scalar loops drop exact-zero terms, which cannot change a sum.
+//
+// The variant can be forced globally with the MG_FORCE_VARIANT
+// environment variable or the -variant flag (Env.Variant).
 package core
 
 import (
@@ -45,6 +69,7 @@ import (
 	"repro/internal/nas"
 	"repro/internal/shape"
 	"repro/internal/stencil"
+	"repro/internal/tune"
 	wl "repro/internal/withloop"
 )
 
@@ -121,14 +146,14 @@ func kernelClock(e *wl.Env) (t time.Time) {
 // attached the invocation is recorded under (kernel, level) as the time
 // since started (the caller's kernelClock, taken before it allocated the
 // output); without any sink the only extra cost is two nil checks.
-func forPlanes(e *wl.Env, kernel string, started time.Time, n0, perPlane int, od []float64, body func(lo, hi, tile int)) {
+func forPlanes(e *wl.Env, kernel string, started time.Time, n0, perPlane int, od []float64, body func(lo, hi, tile int, variant string)) {
 	level := levelOfExtent(n0 - 2)
-	opts, tile, commit := e.PlanFor(kernel, level, perPlane)
-	e.Sched.For(n0-2, opts, func(lo, hi, _ int) { body(lo+1, hi+1, tile) })
+	opts, tile, variant, commit := e.PlanFor(kernel, level, perPlane)
+	e.Sched.For(n0-2, opts, func(lo, hi, _ int) { body(lo+1, hi+1, tile, variant) })
 	commit()
 	healthSample(e, kernel, level, od)
 	if m := e.Metrics; m != nil {
-		m.Record(0, kernel, level, int64(n0-2)*int64(perPlane), time.Since(started))
+		m.RecordVariant(0, kernel, level, variant, int64(n0-2)*int64(perPlane), time.Since(started))
 	}
 }
 
@@ -152,6 +177,48 @@ var KernelCosts = map[string]metrics.Cost{
 	},
 }
 
+// KernelCost resolves the per-point work model for a (kernel, variant)
+// pair: the line-buffered variants amortise the u1/u2 row sums across the
+// sliding k window (stencil.FlopsPerElement("buffered")), so their
+// per-point flop counts are lower than the scalar recomputation —
+// without this, buffered/simd plans would be costed as scalar and the
+// report's GFLOP/s would overstate the work done. Unknown variants (and
+// scalar) fall back to KernelCosts; byte counts are variant-independent.
+func KernelCost(kernel, variant string) metrics.Cost {
+	if lined(variant) {
+		if c, ok := bufferedKernelCosts[kernel]; ok {
+			return c
+		}
+	}
+	return KernelCosts[kernel]
+}
+
+// HasVariants reports whether kernel dispatches on the plan's kernel
+// variant. Only the rank-3 fused plane kernels do; the rest (border
+// exchange, initialization, pseudo-kernel totals) have a single backend.
+func HasVariants(kernel string) bool {
+	_, ok := bufferedKernelCosts[kernel]
+	return ok
+}
+
+// bufferedKernelCosts: per-point flops of the line-buffered forms. Each
+// output point pays its share of the row-buffer fills (6 adds: two
+// 4-term sums per point, reused 3× as the window slides) plus the
+// combine. subRelax drops c1 (6+2+1 adds, 3 mults, 2 combines, 1 sub =
+// 15); addRelax drops c3 (6+2+2 adds, 3 mults, 2 combines, 1 add = 16);
+// projectCondense consumes only even fine columns so each coarse point
+// pays 12 fill adds (+5 s-adds, 4 mults, 3 combines = 24); interpolate
+// averages ≈3 (one buffered fill add plus a mult, or a mult alone). The
+// simd variant computes the full 4-term tree (+4 flops on the relax
+// kernels) but shares this model: the report tracks useful work, not
+// lanes spent multiplying exact zeros.
+var bufferedKernelCosts = map[string]metrics.Cost{
+	"subRelax":        {Flops: 15, Bytes: 3 * 8},
+	"addRelax":        {Flops: 16, Bytes: 3 * 8},
+	"projectCondense": {Flops: 24, Bytes: 2 * 8},
+	"interpolate":     {Flops: 3, Bytes: 2 * 8},
+}
+
 // tileOr returns the effective tile edge: tile when positive, otherwise
 // the whole extent (untiled).
 func tileOr(tile, n int) int {
@@ -159,6 +226,26 @@ func tileOr(tile, n int) int {
 		return tile
 	}
 	return n
+}
+
+// lined reports whether a plan variant selects the line-buffered form
+// (buffered or simd). Anything else — including an unknown forced
+// variant — dispatches to the scalar loops.
+func lined(variant string) bool {
+	return variant == tune.VariantBuffered || variant == tune.VariantSIMD
+}
+
+// lineBuffers borrows the u1/u2 row buffers of the line-buffered plane
+// kernels from the environment's pool. Each scheduler partition takes its
+// own pair inside its body invocation (worker-local by construction), so
+// parallel plans stay allocation-free once the pool is warm.
+func lineBuffers(e *wl.Env, n int) (u1, u2 []float64, done func()) {
+	u1 = e.Pool.GetDirty(n)
+	u2 = e.Pool.GetDirty(n)
+	return u1, u2, func() {
+		e.Pool.Put(u1)
+		e.Pool.Put(u2)
+	}
 }
 
 // subRelax computes out = v − Relax(u, c): the folded form of
@@ -171,7 +258,16 @@ func subRelax(e *wl.Env, v, u *array.Array, c stencil.Coeffs) *array.Array {
 	out := e.NewArrayDirty(shp)
 	od, vd, ud := out.Data(), v.Data(), u.Data()
 	copyBorders(od, vd, n0, n1, n2)
-	forPlanes(e, "subRelax", started, n0, (n1-2)*(n2-2), od, func(lo, hi, tile int) {
+	forPlanes(e, "subRelax", started, n0, (n1-2)*(n2-2), od, func(lo, hi, tile int, variant string) {
+		if lined(variant) {
+			u1, u2, done := lineBuffers(e, n2)
+			defer done()
+			vec := variant == tune.VariantSIMD
+			for i := lo; i < hi; i++ {
+				subRelaxPlaneLined(od, vd, ud, n1, n2, i, c, u1, u2, vec)
+			}
+			return
+		}
 		for i := lo; i < hi; i++ {
 			subRelaxPlane(od, vd, ud, n1, n2, i, tile, c)
 		}
@@ -200,26 +296,31 @@ func subRelaxPlane(od, vd, ud []float64, n1, n2, i, tile int, c stencil.Coeffs) 
 				if c1 == 0 {
 					// Constant folding of the zero face coefficient (the
 					// A stencil): c1·s1 is an exact zero, so c0·x + c1·s1
-					// equals c0·x and the six face additions disappear —
-					// the specialization sac2c derives from the constant
+					// equals c0·x and s1's additions disappear — the
+					// specialization sac2c derives from the constant
 					// coefficient vector.
 					for k := kt; k < kEnd; k++ {
-						s2 := uMM[k] + uMZ[k-1] + uMZ[k+1] + uMP[k] +
-							uZM[k-1] + uZM[k+1] + uZP[k-1] + uZP[k+1] +
-							uPM[k] + uPZ[k-1] + uPZ[k+1] + uPP[k]
-						s3 := uMM[k-1] + uMM[k+1] + uMP[k-1] + uMP[k+1] +
-							uPM[k-1] + uPM[k+1] + uPP[k-1] + uPP[k+1]
+						u1m := ((uMZ[k-1] + uZM[k-1]) + uZP[k-1]) + uPZ[k-1]
+						u1p := ((uMZ[k+1] + uZM[k+1]) + uZP[k+1]) + uPZ[k+1]
+						u2m := ((uMM[k-1] + uMP[k-1]) + uPM[k-1]) + uPP[k-1]
+						u2z := ((uMM[k] + uMP[k]) + uPM[k]) + uPP[k]
+						u2p := ((uMM[k+1] + uMP[k+1]) + uPM[k+1]) + uPP[k+1]
+						s2 := (u2z + u1m) + u1p
+						s3 := u2m + u2p
 						oZZ[k] = vZZ[k] - ((c0*uZZ[k] + c2*s2) + c3*s3)
 					}
 					continue
 				}
 				for k := kt; k < kEnd; k++ {
-					s1 := uMZ[k] + uZM[k] + uZZ[k-1] + uZZ[k+1] + uZP[k] + uPZ[k]
-					s2 := uMM[k] + uMZ[k-1] + uMZ[k+1] + uMP[k] +
-						uZM[k-1] + uZM[k+1] + uZP[k-1] + uZP[k+1] +
-						uPM[k] + uPZ[k-1] + uPZ[k+1] + uPP[k]
-					s3 := uMM[k-1] + uMM[k+1] + uMP[k-1] + uMP[k+1] +
-						uPM[k-1] + uPM[k+1] + uPP[k-1] + uPP[k+1]
+					u1m := ((uMZ[k-1] + uZM[k-1]) + uZP[k-1]) + uPZ[k-1]
+					u1z := ((uMZ[k] + uZM[k]) + uZP[k]) + uPZ[k]
+					u1p := ((uMZ[k+1] + uZM[k+1]) + uZP[k+1]) + uPZ[k+1]
+					u2m := ((uMM[k-1] + uMP[k-1]) + uPM[k-1]) + uPP[k-1]
+					u2z := ((uMM[k] + uMP[k]) + uPM[k]) + uPP[k]
+					u2p := ((uMM[k+1] + uMP[k+1]) + uPM[k+1]) + uPP[k+1]
+					s1 := (uZZ[k-1] + uZZ[k+1]) + u1z
+					s2 := (u2z + u1m) + u1p
+					s3 := u2m + u2p
 					oZZ[k] = vZZ[k] - (((c0*uZZ[k] + c1*s1) + c2*s2) + c3*s3)
 				}
 			}
@@ -244,7 +345,16 @@ func subRelaxNorm(e *wl.Env, v, u *array.Array, c stencil.Coeffs) (out *array.Ar
 	copyBorders(od, vd, n0, n1, n2)
 	sums := make([]float64, n0)
 	maxs := make([]float64, n0)
-	forPlanes(e, "subRelax", started, n0, (n1-2)*(n2-2), od, func(lo, hi, tile int) {
+	forPlanes(e, "subRelax", started, n0, (n1-2)*(n2-2), od, func(lo, hi, tile int, variant string) {
+		if lined(variant) {
+			u1, u2, done := lineBuffers(e, n2)
+			defer done()
+			vec := variant == tune.VariantSIMD
+			for i := lo; i < hi; i++ {
+				sums[i], maxs[i] = subRelaxNormPlaneLined(od, vd, ud, n1, n2, i, c, u1, u2, vec)
+			}
+			return
+		}
 		rowSum := make([]float64, tileOr(tile, n1-2))
 		for i := lo; i < hi; i++ {
 			sums[i], maxs[i] = subRelaxNormPlane(od, vd, ud, n1, n2, i, tile, c, rowSum)
@@ -284,11 +394,13 @@ func subRelaxNormPlane(od, vd, ud []float64, n1, n2, i, tile int, c stencil.Coef
 				acc := rs[j-jt]
 				if c1 == 0 {
 					for k := kt; k < kEnd; k++ {
-						s2 := uMM[k] + uMZ[k-1] + uMZ[k+1] + uMP[k] +
-							uZM[k-1] + uZM[k+1] + uZP[k-1] + uZP[k+1] +
-							uPM[k] + uPZ[k-1] + uPZ[k+1] + uPP[k]
-						s3 := uMM[k-1] + uMM[k+1] + uMP[k-1] + uMP[k+1] +
-							uPM[k-1] + uPM[k+1] + uPP[k-1] + uPP[k+1]
+						u1m := ((uMZ[k-1] + uZM[k-1]) + uZP[k-1]) + uPZ[k-1]
+						u1p := ((uMZ[k+1] + uZM[k+1]) + uZP[k+1]) + uPZ[k+1]
+						u2m := ((uMM[k-1] + uMP[k-1]) + uPM[k-1]) + uPP[k-1]
+						u2z := ((uMM[k] + uMP[k]) + uPM[k]) + uPP[k]
+						u2p := ((uMM[k+1] + uMP[k+1]) + uPM[k+1]) + uPP[k+1]
+						s2 := (u2z + u1m) + u1p
+						s3 := u2m + u2p
 						r := vZZ[k] - ((c0*uZZ[k] + c2*s2) + c3*s3)
 						oZZ[k] = r
 						acc += r * r
@@ -298,12 +410,15 @@ func subRelaxNormPlane(od, vd, ud []float64, n1, n2, i, tile int, c stencil.Coef
 					}
 				} else {
 					for k := kt; k < kEnd; k++ {
-						s1 := uMZ[k] + uZM[k] + uZZ[k-1] + uZZ[k+1] + uZP[k] + uPZ[k]
-						s2 := uMM[k] + uMZ[k-1] + uMZ[k+1] + uMP[k] +
-							uZM[k-1] + uZM[k+1] + uZP[k-1] + uZP[k+1] +
-							uPM[k] + uPZ[k-1] + uPZ[k+1] + uPP[k]
-						s3 := uMM[k-1] + uMM[k+1] + uMP[k-1] + uMP[k+1] +
-							uPM[k-1] + uPM[k+1] + uPP[k-1] + uPP[k+1]
+						u1m := ((uMZ[k-1] + uZM[k-1]) + uZP[k-1]) + uPZ[k-1]
+						u1z := ((uMZ[k] + uZM[k]) + uZP[k]) + uPZ[k]
+						u1p := ((uMZ[k+1] + uZM[k+1]) + uZP[k+1]) + uPZ[k+1]
+						u2m := ((uMM[k-1] + uMP[k-1]) + uPM[k-1]) + uPP[k-1]
+						u2z := ((uMM[k] + uMP[k]) + uPM[k]) + uPP[k]
+						u2p := ((uMM[k+1] + uMP[k+1]) + uPM[k+1]) + uPP[k+1]
+						s1 := (uZZ[k-1] + uZZ[k+1]) + u1z
+						s2 := (u2z + u1m) + u1p
+						s3 := u2m + u2p
 						r := vZZ[k] - (((c0*uZZ[k] + c1*s1) + c2*s2) + c3*s3)
 						oZZ[k] = r
 						acc += r * r
@@ -331,7 +446,16 @@ func addRelax(e *wl.Env, z, r *array.Array, c stencil.Coeffs) *array.Array {
 	out := e.NewArrayDirty(shp)
 	od, zd, rd := out.Data(), z.Data(), r.Data()
 	copyBorders(od, zd, n0, n1, n2)
-	forPlanes(e, "addRelax", started, n0, (n1-2)*(n2-2), od, func(lo, hi, tile int) {
+	forPlanes(e, "addRelax", started, n0, (n1-2)*(n2-2), od, func(lo, hi, tile int, variant string) {
+		if lined(variant) {
+			u1, u2, done := lineBuffers(e, n2)
+			defer done()
+			vec := variant == tune.VariantSIMD
+			for i := lo; i < hi; i++ {
+				addRelaxPlaneLined(od, zd, nil, rd, n1, n2, i, c, u1, u2, vec)
+			}
+			return
+		}
 		for i := lo; i < hi; i++ {
 			addRelaxPlane(od, zd, nil, rd, n1, n2, i, tile, c)
 		}
@@ -350,7 +474,16 @@ func addRelaxPlus(e *wl.Env, u, z, r *array.Array, c stencil.Coeffs) *array.Arra
 	out := e.NewArrayDirty(shp)
 	od, udat, zd, rd := out.Data(), u.Data(), z.Data(), r.Data()
 	addBorders(od, udat, zd, n0, n1, n2)
-	forPlanes(e, "addRelax", started, n0, (n1-2)*(n2-2), od, func(lo, hi, tile int) {
+	forPlanes(e, "addRelax", started, n0, (n1-2)*(n2-2), od, func(lo, hi, tile int, variant string) {
+		if lined(variant) {
+			u1, u2, done := lineBuffers(e, n2)
+			defer done()
+			vec := variant == tune.VariantSIMD
+			for i := lo; i < hi; i++ {
+				addRelaxPlaneLined(od, zd, udat, rd, n1, n2, i, c, u1, u2, vec)
+			}
+			return
+		}
 		for i := lo; i < hi; i++ {
 			addRelaxPlane(od, zd, udat, rd, n1, n2, i, tile, c)
 		}
@@ -379,43 +512,53 @@ func addRelaxPlane(od, zd, ud, rd []float64, n1, n2, i, tile int, c stencil.Coef
 				switch {
 				case ud == nil && c3 == 0:
 					// Constant folding of the zero corner coefficient
-					// (the S stencils): the eight corner additions
-					// disappear; c3·s3 was an exact zero.
+					// (the S stencils): c3·s3 was an exact zero, so s3's
+					// corner additions disappear.
 					for k := kt; k < kEnd; k++ {
-						s1 := rMZ[k] + rZM[k] + rZZ[k-1] + rZZ[k+1] + rZP[k] + rPZ[k]
-						s2 := rMM[k] + rMZ[k-1] + rMZ[k+1] + rMP[k] +
-							rZM[k-1] + rZM[k+1] + rZP[k-1] + rZP[k+1] +
-							rPM[k] + rPZ[k-1] + rPZ[k+1] + rPP[k]
+						u1m := ((rMZ[k-1] + rZM[k-1]) + rZP[k-1]) + rPZ[k-1]
+						u1z := ((rMZ[k] + rZM[k]) + rZP[k]) + rPZ[k]
+						u1p := ((rMZ[k+1] + rZM[k+1]) + rZP[k+1]) + rPZ[k+1]
+						u2z := ((rMM[k] + rMP[k]) + rPM[k]) + rPP[k]
+						s1 := (rZZ[k-1] + rZZ[k+1]) + u1z
+						s2 := (u2z + u1m) + u1p
 						oZZ[k] = zZZ[k] + ((c0*rZZ[k] + c1*s1) + c2*s2)
 					}
 				case ud == nil:
 					for k := kt; k < kEnd; k++ {
-						s1 := rMZ[k] + rZM[k] + rZZ[k-1] + rZZ[k+1] + rZP[k] + rPZ[k]
-						s2 := rMM[k] + rMZ[k-1] + rMZ[k+1] + rMP[k] +
-							rZM[k-1] + rZM[k+1] + rZP[k-1] + rZP[k+1] +
-							rPM[k] + rPZ[k-1] + rPZ[k+1] + rPP[k]
-						s3 := rMM[k-1] + rMM[k+1] + rMP[k-1] + rMP[k+1] +
-							rPM[k-1] + rPM[k+1] + rPP[k-1] + rPP[k+1]
+						u1m := ((rMZ[k-1] + rZM[k-1]) + rZP[k-1]) + rPZ[k-1]
+						u1z := ((rMZ[k] + rZM[k]) + rZP[k]) + rPZ[k]
+						u1p := ((rMZ[k+1] + rZM[k+1]) + rZP[k+1]) + rPZ[k+1]
+						u2m := ((rMM[k-1] + rMP[k-1]) + rPM[k-1]) + rPP[k-1]
+						u2z := ((rMM[k] + rMP[k]) + rPM[k]) + rPP[k]
+						u2p := ((rMM[k+1] + rMP[k+1]) + rPM[k+1]) + rPP[k+1]
+						s1 := (rZZ[k-1] + rZZ[k+1]) + u1z
+						s2 := (u2z + u1m) + u1p
+						s3 := u2m + u2p
 						oZZ[k] = zZZ[k] + (((c0*rZZ[k] + c1*s1) + c2*s2) + c3*s3)
 					}
 				case c3 == 0:
 					uZZ := ud[zz : zz+n2]
 					for k := kt; k < kEnd; k++ {
-						s1 := rMZ[k] + rZM[k] + rZZ[k-1] + rZZ[k+1] + rZP[k] + rPZ[k]
-						s2 := rMM[k] + rMZ[k-1] + rMZ[k+1] + rMP[k] +
-							rZM[k-1] + rZM[k+1] + rZP[k-1] + rZP[k+1] +
-							rPM[k] + rPZ[k-1] + rPZ[k+1] + rPP[k]
+						u1m := ((rMZ[k-1] + rZM[k-1]) + rZP[k-1]) + rPZ[k-1]
+						u1z := ((rMZ[k] + rZM[k]) + rZP[k]) + rPZ[k]
+						u1p := ((rMZ[k+1] + rZM[k+1]) + rZP[k+1]) + rPZ[k+1]
+						u2z := ((rMM[k] + rMP[k]) + rPM[k]) + rPP[k]
+						s1 := (rZZ[k-1] + rZZ[k+1]) + u1z
+						s2 := (u2z + u1m) + u1p
 						oZZ[k] = uZZ[k] + (zZZ[k] + ((c0*rZZ[k] + c1*s1) + c2*s2))
 					}
 				default:
 					uZZ := ud[zz : zz+n2]
 					for k := kt; k < kEnd; k++ {
-						s1 := rMZ[k] + rZM[k] + rZZ[k-1] + rZZ[k+1] + rZP[k] + rPZ[k]
-						s2 := rMM[k] + rMZ[k-1] + rMZ[k+1] + rMP[k] +
-							rZM[k-1] + rZM[k+1] + rZP[k-1] + rZP[k+1] +
-							rPM[k] + rPZ[k-1] + rPZ[k+1] + rPP[k]
-						s3 := rMM[k-1] + rMM[k+1] + rMP[k-1] + rMP[k+1] +
-							rPM[k-1] + rPM[k+1] + rPP[k-1] + rPP[k+1]
+						u1m := ((rMZ[k-1] + rZM[k-1]) + rZP[k-1]) + rPZ[k-1]
+						u1z := ((rMZ[k] + rZM[k]) + rZP[k]) + rPZ[k]
+						u1p := ((rMZ[k+1] + rZM[k+1]) + rZP[k+1]) + rPZ[k+1]
+						u2m := ((rMM[k-1] + rMP[k-1]) + rPM[k-1]) + rPP[k-1]
+						u2z := ((rMM[k] + rMP[k]) + rPM[k]) + rPP[k]
+						u2p := ((rMM[k+1] + rMP[k+1]) + rPM[k+1]) + rPP[k+1]
+						s1 := (rZZ[k-1] + rZZ[k+1]) + u1z
+						s2 := (u2z + u1m) + u1p
+						s3 := u2m + u2p
 						oZZ[k] = uZZ[k] + (zZZ[k] + (((c0*rZZ[k] + c1*s1) + c2*s2) + c3*s3))
 					}
 				}
@@ -465,7 +608,16 @@ func projectCondense(e *wl.Env, r *array.Array, c stencil.Coeffs) *array.Array {
 	mo := mf/2 + 1
 	out := e.NewArray(shape.Of(mo, mo, mo))
 	od, rd := out.Data(), r.Data()
-	forPlanes(e, "projectCondense", started, mo, (mo-2)*(mo-2), od, func(lo, hi, tile int) {
+	forPlanes(e, "projectCondense", started, mo, (mo-2)*(mo-2), od, func(lo, hi, tile int, variant string) {
+		if lined(variant) {
+			u1, u2, done := lineBuffers(e, mf)
+			defer done()
+			vec := variant == tune.VariantSIMD
+			for jc := lo; jc < hi; jc++ {
+				projectCondensePlaneLined(od, rd, mf, mo, jc, c, u1, u2, vec)
+			}
+			return
+		}
 		for jc := lo; jc < hi; jc++ {
 			projectCondensePlane(od, rd, mf, mo, jc, tile, c)
 		}
@@ -493,12 +645,15 @@ func projectCondensePlane(od, rd []float64, mf, mo, jc, tile int, c stencil.Coef
 				pm, pp := pz-mf, pz+mf
 				for j1 := kt; j1 < kEnd; j1++ {
 					k := 2 * j1
-					s1 := rd[mz+k] + rd[zm+k] + rd[zz+k-1] + rd[zz+k+1] + rd[zp+k] + rd[pz+k]
-					s2 := rd[mm+k] + rd[mz+k-1] + rd[mz+k+1] + rd[mp+k] +
-						rd[zm+k-1] + rd[zm+k+1] + rd[zp+k-1] + rd[zp+k+1] +
-						rd[pm+k] + rd[pz+k-1] + rd[pz+k+1] + rd[pp+k]
-					s3 := rd[mm+k-1] + rd[mm+k+1] + rd[mp+k-1] + rd[mp+k+1] +
-						rd[pm+k-1] + rd[pm+k+1] + rd[pp+k-1] + rd[pp+k+1]
+					u1m := ((rd[mz+k-1] + rd[zm+k-1]) + rd[zp+k-1]) + rd[pz+k-1]
+					u1z := ((rd[mz+k] + rd[zm+k]) + rd[zp+k]) + rd[pz+k]
+					u1p := ((rd[mz+k+1] + rd[zm+k+1]) + rd[zp+k+1]) + rd[pz+k+1]
+					u2m := ((rd[mm+k-1] + rd[mp+k-1]) + rd[pm+k-1]) + rd[pp+k-1]
+					u2z := ((rd[mm+k] + rd[mp+k]) + rd[pm+k]) + rd[pp+k]
+					u2p := ((rd[mm+k+1] + rd[mp+k+1]) + rd[pm+k+1]) + rd[pp+k+1]
+					s1 := (rd[zz+k-1] + rd[zz+k+1]) + u1z
+					s2 := (u2z + u1m) + u1p
+					s3 := u2m + u2p
 					od[base+j1] = ((c0*rd[zz+k] + c1*s1) + c2*s2) + c3*s3
 				}
 			}
@@ -511,16 +666,29 @@ func projectCondensePlane(od, rd []float64, mf, mo, jc, tile int, c stencil.Coef
 // grid is zero except at even positions, so each fine element is a
 // Q-weighted sum of its 1, 2, 4 or 8 nearest coarse points (trilinear
 // interpolation). rn must have its periodic border prepared. The
-// contributing coarse values are summed in the same lexicographic offset
-// order as the generic kernel, so the result is bit-identical to the
-// unfolded chain (the eliminated terms are exact zeros).
+// contributing coarse values fold in the canonical association of the
+// generic kernel (each parity case is a surviving u1/u2 sub-sum chain),
+// so the result is bit-identical to the unfolded chain (the eliminated
+// terms are exact zeros).
 func interpolate(e *wl.Env, rn *array.Array, c stencil.Coeffs) *array.Array {
 	started := kernelClock(e)
 	mc := rn.Shape()[0]
 	mf := 2*mc - 2
 	out := e.NewArray(shape.Of(mf, mf, mf))
 	od, zd := out.Data(), rn.Data()
-	forPlanes(e, "interpolate", started, mf, (mf-2)*(mf-2), od, func(lo, hi, tile int) {
+	forPlanes(e, "interpolate", started, mf, (mf-2)*(mf-2), od, func(lo, hi, tile int, variant string) {
+		if lined(variant) {
+			// One cross-row buffer of coarse-row length suffices: the
+			// parity cases pair at most the four coarse rows of one
+			// fine row.
+			b := e.Pool.GetDirty(mc)
+			defer e.Pool.Put(b)
+			vec := variant == tune.VariantSIMD
+			for f3 := lo; f3 < hi; f3++ {
+				interpolatePlaneLined(od, zd, mc, mf, f3, c, b, vec)
+			}
+			return
+		}
 		for f3 := lo; f3 < hi; f3++ {
 			interpolatePlane(od, zd, mc, mf, f3, tile, c)
 		}
@@ -561,14 +729,14 @@ func interpolatePlane(od, zd []float64, mc, mf, f3, tile int, c stencil.Coeffs) 
 					case o3 && !o2 && !o1:
 						val = c1 * (zd[bll+l1] + zd[bhl+l1])
 					case !o3 && o2 && o1:
-						val = c2 * (zd[bll+l1] + zd[bll+h1] + zd[blh+l1] + zd[blh+h1])
+						val = c2 * ((zd[bll+l1] + zd[blh+l1]) + (zd[bll+h1] + zd[blh+h1]))
 					case o3 && !o2 && o1:
-						val = c2 * (zd[bll+l1] + zd[bll+h1] + zd[bhl+l1] + zd[bhl+h1])
+						val = c2 * ((zd[bll+l1] + zd[bhl+l1]) + (zd[bll+h1] + zd[bhl+h1]))
 					case o3 && o2 && !o1:
-						val = c2 * (zd[bll+l1] + zd[blh+l1] + zd[bhl+l1] + zd[bhh+l1])
+						val = c2 * (((zd[bll+l1] + zd[blh+l1]) + zd[bhl+l1]) + zd[bhh+l1])
 					default:
-						val = c3 * (zd[bll+l1] + zd[bll+h1] + zd[blh+l1] + zd[blh+h1] +
-							zd[bhl+l1] + zd[bhl+h1] + zd[bhh+l1] + zd[bhh+h1])
+						val = c3 * ((((zd[bll+l1] + zd[blh+l1]) + zd[bhl+l1]) + zd[bhh+l1]) +
+							(((zd[bll+h1] + zd[blh+h1]) + zd[bhl+h1]) + zd[bhh+h1]))
 					}
 					od[base+f1] = val
 				}

@@ -1,0 +1,271 @@
+// Line-buffered and SIMD backends of the fused O3 plane kernels — the
+// "buffered" and "simd" kernel variants of the per-(kernel, level) plans
+// (see the package comment's "Kernel variants" section).
+//
+// The scalar kernels recompute every in-plane sub-sum of the canonical
+// association three times (at k−1, k and k+1 as the k loop slides). The
+// functions here memoise those sub-sums the way the Fortran MG reference
+// does (internal/f77): two row buffers u1/u2 hold, for one (i, j) row,
+//
+//	u1[k] = ((x[i−1][j][k] + x[i][j−1][k]) + x[i][j+1][k]) + x[i+1][j][k]
+//	u2[k] = ((x[i−1][j−1][k] + x[i−1][j+1][k]) + x[i+1][j−1][k]) + x[i+1][j+1][k]
+//
+// filled once per row, and each output point combines three neighbouring
+// buffer entries. Because the buffers hold exactly the sub-sums the
+// canonical association already groups, memoisation changes no value:
+// the buffered results — grids and norms — are bit-identical to scalar
+// (TestBufferedBitIdentical). With vec set the fills and combines run
+// through internal/simd, whose lanes execute the same operation tree;
+// the simd combine applies all four coefficient terms where the scalar
+// branches drop exact zeros, which cannot change an IEEE-754 sum.
+//
+// The lined kernels ignore the plan's tile edge: tiling only permutes
+// independent writes (no result change), and the line buffers already
+// serialise whole rows through the cache, which is what the j/k tiling
+// of the scalar kernels approximates.
+package core
+
+import (
+	"math"
+
+	"repro/internal/simd"
+	"repro/internal/stencil"
+)
+
+// subRelaxPlaneLined is subRelaxPlane in the line-buffered form:
+// out = v − A·u on interior plane i.
+func subRelaxPlaneLined(od, vd, ud []float64, n1, n2, i int, c stencil.Coeffs,
+	u1, u2 []float64, vec bool) {
+	mz := ((i-1)*n1 + 1) * n2
+	zz := (i*n1 + 1) * n2
+	pz := ((i+1)*n1 + 1) * n2
+	for j := 1; j < n1-1; j, mz, zz, pz = j+1, mz+n2, zz+n2, pz+n2 {
+		subRelaxRowLined(od, vd, ud, mz, zz, pz, n2, c, u1, u2, vec)
+	}
+}
+
+// subRelaxNormPlaneLined is subRelaxPlaneLined plus the NPB norm partials
+// of plane i. The residual row is written first and the partials fold
+// from the stored values left-to-right, rows in ascending j — the same
+// values in the same order as the scalar kernel's interleaved
+// accumulation, so the norms stay bit-identical.
+func subRelaxNormPlaneLined(od, vd, ud []float64, n1, n2, i int, c stencil.Coeffs,
+	u1, u2 []float64, vec bool) (sum, maxAbs float64) {
+	mz := ((i-1)*n1 + 1) * n2
+	zz := (i*n1 + 1) * n2
+	pz := ((i+1)*n1 + 1) * n2
+	for j := 1; j < n1-1; j, mz, zz, pz = j+1, mz+n2, zz+n2, pz+n2 {
+		subRelaxRowLined(od, vd, ud, mz, zz, pz, n2, c, u1, u2, vec)
+		oZZ := od[zz : zz+n2]
+		var acc float64
+		for k := 1; k < n2-1; k++ {
+			r := oZZ[k]
+			acc += r * r
+			if a := math.Abs(r); a > maxAbs {
+				maxAbs = a
+			}
+		}
+		sum += acc
+	}
+	return sum, maxAbs
+}
+
+// subRelaxRowLined computes one residual row of subRelaxPlaneLined, given
+// the three rolled centre-row bases.
+func subRelaxRowLined(od, vd, ud []float64, mz, zz, pz, n2 int, c stencil.Coeffs,
+	u1, u2 []float64, vec bool) {
+	c0, c1, c2, c3 := c[0], c[1], c[2], c[3]
+	uMM, uMZ, uMP := ud[mz-n2:mz], ud[mz:mz+n2], ud[mz+n2:mz+2*n2]
+	uZM, uZZ, uZP := ud[zz-n2:zz], ud[zz:zz+n2], ud[zz+n2:zz+2*n2]
+	uPM, uPZ, uPP := ud[pz-n2:pz], ud[pz:pz+n2], ud[pz+n2:pz+2*n2]
+	oZZ, vZZ := od[zz:zz+n2], vd[zz:zz+n2]
+	if vec {
+		simd.Sum4(u1, uMZ, uZM, uZP, uPZ)
+		simd.Sum4(u2, uMM, uMP, uPM, uPP)
+		simd.SubRelaxRow(oZZ, vZZ, uZZ, u1, u2, (*[4]float64)(&c))
+		return
+	}
+	for k := 0; k < n2; k++ {
+		u1[k] = ((uMZ[k] + uZM[k]) + uZP[k]) + uPZ[k]
+		u2[k] = ((uMM[k] + uMP[k]) + uPM[k]) + uPP[k]
+	}
+	if c1 == 0 {
+		for k := 1; k < n2-1; k++ {
+			oZZ[k] = vZZ[k] - ((c0*uZZ[k] + c2*((u2[k]+u1[k-1])+u1[k+1])) +
+				c3*(u2[k-1]+u2[k+1]))
+		}
+		return
+	}
+	for k := 1; k < n2-1; k++ {
+		oZZ[k] = vZZ[k] - (((c0*uZZ[k] + c1*((uZZ[k-1]+uZZ[k+1])+u1[k])) +
+			c2*((u2[k]+u1[k-1])+u1[k+1])) + c3*(u2[k-1]+u2[k+1]))
+	}
+}
+
+// addRelaxPlaneLined is addRelaxPlane in the line-buffered form:
+// out = z + S·r (ud == nil) or out = u + (z + S·r) on interior plane i.
+func addRelaxPlaneLined(od, zd, ud, rd []float64, n1, n2, i int, c stencil.Coeffs,
+	u1, u2 []float64, vec bool) {
+	c0, c1, c2, c3 := c[0], c[1], c[2], c[3]
+	cp := (*[4]float64)(&c)
+	mz := ((i-1)*n1 + 1) * n2
+	zz := (i*n1 + 1) * n2
+	pz := ((i+1)*n1 + 1) * n2
+	for j := 1; j < n1-1; j, mz, zz, pz = j+1, mz+n2, zz+n2, pz+n2 {
+		rMM, rMZ, rMP := rd[mz-n2:mz], rd[mz:mz+n2], rd[mz+n2:mz+2*n2]
+		rZM, rZZ, rZP := rd[zz-n2:zz], rd[zz:zz+n2], rd[zz+n2:zz+2*n2]
+		rPM, rPZ, rPP := rd[pz-n2:pz], rd[pz:pz+n2], rd[pz+n2:pz+2*n2]
+		oZZ, zZZ := od[zz:zz+n2], zd[zz:zz+n2]
+		if vec {
+			simd.Sum4(u1, rMZ, rZM, rZP, rPZ)
+			simd.Sum4(u2, rMM, rMP, rPM, rPP)
+			if ud == nil {
+				simd.AddRelaxRow(oZZ, zZZ, rZZ, u1, u2, cp)
+			} else {
+				simd.AddRelaxPlusRow(oZZ, ud[zz:zz+n2], zZZ, rZZ, u1, u2, cp)
+			}
+			continue
+		}
+		for k := 0; k < n2; k++ {
+			u1[k] = ((rMZ[k] + rZM[k]) + rZP[k]) + rPZ[k]
+			u2[k] = ((rMM[k] + rMP[k]) + rPM[k]) + rPP[k]
+		}
+		switch {
+		case ud == nil && c3 == 0:
+			// The S stencils' zero corner coefficient: c3·s3 is an
+			// exact zero, mirrored from the scalar specialization.
+			for k := 1; k < n2-1; k++ {
+				oZZ[k] = zZZ[k] + ((c0*rZZ[k] + c1*((rZZ[k-1]+rZZ[k+1])+u1[k])) +
+					c2*((u2[k]+u1[k-1])+u1[k+1]))
+			}
+		case ud == nil:
+			for k := 1; k < n2-1; k++ {
+				oZZ[k] = zZZ[k] + (((c0*rZZ[k] + c1*((rZZ[k-1]+rZZ[k+1])+u1[k])) +
+					c2*((u2[k]+u1[k-1])+u1[k+1])) + c3*(u2[k-1]+u2[k+1]))
+			}
+		case c3 == 0:
+			uZZ := ud[zz : zz+n2]
+			for k := 1; k < n2-1; k++ {
+				oZZ[k] = uZZ[k] + (zZZ[k] + ((c0*rZZ[k] + c1*((rZZ[k-1]+rZZ[k+1])+u1[k])) +
+					c2*((u2[k]+u1[k-1])+u1[k+1])))
+			}
+		default:
+			uZZ := ud[zz : zz+n2]
+			for k := 1; k < n2-1; k++ {
+				oZZ[k] = uZZ[k] + (zZZ[k] + (((c0*rZZ[k] + c1*((rZZ[k-1]+rZZ[k+1])+u1[k])) +
+					c2*((u2[k]+u1[k-1])+u1[k+1])) + c3*(u2[k-1]+u2[k+1])))
+			}
+		}
+	}
+}
+
+// projectCondensePlaneLined is projectCondensePlane in the line-buffered
+// form. The buffers span the fine row (length mf): every fine index
+// feeds some coarse point's s1/s2/s3, so nothing filled is wasted.
+func projectCondensePlaneLined(od, rd []float64, mf, mo, jc int, c stencil.Coeffs,
+	u1, u2 []float64, vec bool) {
+	c0, c1, c2, c3 := c[0], c[1], c[2], c[3]
+	i := 2 * jc
+	mz := ((i-1)*mf + 2) * mf
+	zz := (i*mf + 2) * mf
+	pz := ((i+1)*mf + 2) * mf
+	base := (jc*mo + 1) * mo
+	for j2 := 1; j2 < mo-1; j2, mz, zz, pz, base = j2+1, mz+2*mf, zz+2*mf, pz+2*mf, base+mo {
+		rMM, rMZ, rMP := rd[mz-mf:mz], rd[mz:mz+mf], rd[mz+mf:mz+2*mf]
+		rZM, rZZ, rZP := rd[zz-mf:zz], rd[zz:zz+mf], rd[zz+mf:zz+2*mf]
+		rPM, rPZ, rPP := rd[pz-mf:pz], rd[pz:pz+mf], rd[pz+mf:pz+2*mf]
+		if vec {
+			simd.Sum4(u1, rMZ, rZM, rZP, rPZ)
+			simd.Sum4(u2, rMM, rMP, rPM, rPP)
+		} else {
+			for t := 1; t < mf; t++ {
+				u1[t] = ((rMZ[t] + rZM[t]) + rZP[t]) + rPZ[t]
+				u2[t] = ((rMM[t] + rMP[t]) + rPM[t]) + rPP[t]
+			}
+		}
+		for j1 := 1; j1 < mo-1; j1++ {
+			k := 2 * j1
+			s1 := (rZZ[k-1] + rZZ[k+1]) + u1[k]
+			s2 := (u2[k] + u1[k-1]) + u1[k+1]
+			s3 := u2[k-1] + u2[k+1]
+			od[base+j1] = ((c0*rZZ[k] + c1*s1) + c2*s2) + c3*s3
+		}
+	}
+}
+
+// interpolatePlaneLined is interpolatePlane in the line-buffered form:
+// the up-to-four contributing coarse rows of one fine row collapse into
+// one cross-row buffer b (their canonical pairwise sums), after which
+// every fine element is one buffer read (even f1) or one buffered pair
+// (odd f1). b has coarse-row length mc.
+func interpolatePlaneLined(od, zd []float64, mc, mf, f3 int, c stencil.Coeffs,
+	b []float64, vec bool) {
+	c0, c1, c2, c3 := c[0], c[1], c[2], c[3]
+	l3, h3, o3 := f3/2, (f3+1)/2, f3&1 == 1
+	rowL3, rowH3 := l3*mc, h3*mc
+	base := (f3*mf + 1) * mf
+	for f2 := 1; f2 < mf-1; f2, base = f2+1, base+mf {
+		l2, h2, o2 := f2/2, (f2+1)/2, f2&1 == 1
+		bll := (rowL3 + l2) * mc
+		blh := bll + (h2-l2)*mc
+		bhl := (rowH3 + l2) * mc
+		bhh := bhl + (h2-l2)*mc
+		oRow := od[base : base+mf]
+		// cEven/cOdd are the Q weights of the on-axis and between-axis
+		// fine columns given how many of the f3/f2 axes are off-anchor.
+		var cEven, cOdd float64
+		switch {
+		case !o3 && !o2:
+			// Both outer axes on-anchor: single coarse row, no buffer.
+			zRow := zd[bll : bll+mc]
+			for f1 := 1; f1 < mf-1; f1++ {
+				l1, h1 := f1/2, (f1+1)/2
+				if f1&1 == 0 {
+					oRow[f1] = c0 * zRow[l1]
+				} else {
+					oRow[f1] = c1 * (zRow[l1] + zRow[h1])
+				}
+			}
+			continue
+		case !o3 && o2:
+			fillSum2(b, zd[bll:bll+mc], zd[blh:blh+mc], vec)
+			cEven, cOdd = c1, c2
+		case o3 && !o2:
+			fillSum2(b, zd[bll:bll+mc], zd[bhl:bhl+mc], vec)
+			cEven, cOdd = c1, c2
+		default:
+			fillSum4(b, zd[bll:bll+mc], zd[blh:blh+mc], zd[bhl:bhl+mc], zd[bhh:bhh+mc], vec)
+			cEven, cOdd = c2, c3
+		}
+		for f1 := 1; f1 < mf-1; f1++ {
+			l1, h1 := f1/2, (f1+1)/2
+			if f1&1 == 0 {
+				oRow[f1] = cEven * b[l1]
+			} else {
+				oRow[f1] = cOdd * (b[l1] + b[h1])
+			}
+		}
+	}
+}
+
+// fillSum2 and fillSum4 fill a cross-row buffer in the canonical
+// association, vectorised when vec is set.
+func fillSum2(dst, a, b []float64, vec bool) {
+	if vec {
+		simd.Sum2(dst, a, b)
+		return
+	}
+	for m := range dst {
+		dst[m] = a[m] + b[m]
+	}
+}
+
+func fillSum4(dst, a, b, c, d []float64, vec bool) {
+	if vec {
+		simd.Sum4(dst, a, b, c, d)
+		return
+	}
+	for m := range dst {
+		dst[m] = ((a[m] + b[m]) + c[m]) + d[m]
+	}
+}

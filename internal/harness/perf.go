@@ -51,11 +51,14 @@ func solvePoints(class nas.Class) uint64 {
 	return n * n * n * uint64(class.Iter+1)
 }
 
-// derive fills a row's throughput columns from the per-point cost model.
+// derive fills a row's throughput columns from the per-point cost model
+// of the kernel variant the row measured: the line-buffered backends do
+// fewer flops per point than the scalar loops (core.KernelCost), so
+// costing them as scalar would overstate their GFLOP/s.
 func derive(r *perfdb.Row, points uint64) {
 	r.Points = points
-	cost, ok := core.KernelCosts[r.Kernel]
-	if !ok || r.Median <= 0 || points == 0 {
+	cost := core.KernelCost(r.Kernel, r.Variant)
+	if cost.Flops == 0 && cost.Bytes == 0 || r.Median <= 0 || points == 0 {
 		return
 	}
 	nanos := r.Median * 1e9
@@ -129,6 +132,12 @@ func RunPerf(w io.Writer, classes []nas.Class, cfg PerfConfig) (*perfdb.Snapshot
 		for key, samples := range kernelSamples {
 			row := perfdb.NewRow(key, samples)
 			row.Calibration = blockCal
+			// Stamp the backend the (by now warmed-up) tuner runs this
+			// kernel with — the variant the recorded samples measured.
+			// Kernels without variant dispatch stay unstamped.
+			if core.HasVariants(key.Kernel) {
+				row.Variant = env.VariantFor(key.Kernel, key.Level)
+			}
 			derive(&row, kernelPoints[key])
 			snap.Rows = append(snap.Rows, row)
 		}
@@ -195,12 +204,12 @@ func RunPerf(w io.Writer, classes []nas.Class, cfg PerfConfig) (*perfdb.Snapshot
 
 // writePerfTable prints the per-row summary of a freshly taken snapshot.
 func writePerfTable(w io.Writer, snap *perfdb.Snapshot) {
-	fmt.Fprintf(w, "%-34s %12s %12s %22s %9s %8s\n",
-		"row", "median ms", "mean ms", "95% CI (ms)", "GFLOP/s", "GB/s")
+	fmt.Fprintf(w, "%-34s %9s %12s %12s %22s %9s %8s\n",
+		"row", "variant", "median ms", "mean ms", "95% CI (ms)", "GFLOP/s", "GB/s")
 	for _, r := range snap.Rows {
 		ci := fmt.Sprintf("[%.4f, %.4f]", r.CILow*1e3, r.CIHigh*1e3)
-		line := fmt.Sprintf("%-34s %12.4f %12.4f %22s", r.Key().String(),
-			r.Median*1e3, r.Mean*1e3, ci)
+		line := fmt.Sprintf("%-34s %9s %12.4f %12.4f %22s", r.Key().String(),
+			r.Variant, r.Median*1e3, r.Mean*1e3, ci)
 		if r.GFLOPS > 0 || r.GBPerSec > 0 {
 			line += fmt.Sprintf(" %9.2f %8.2f", r.GFLOPS, r.GBPerSec)
 		}

@@ -72,6 +72,7 @@ type cell struct {
 	invocations uint64
 	points      uint64
 	nanos       uint64
+	variant     string // last recorded kernel variant; "" = none reported
 	hist        [HistBuckets]uint64
 }
 
@@ -112,6 +113,16 @@ func NewCollector(workers int) *Collector {
 // index vectors processed in elapsed wall time. Record on a nil collector
 // is a no-op and allocates nothing.
 func (c *Collector) Record(worker int, kernel string, level int, points int64, elapsed time.Duration) {
+	c.RecordVariant(worker, kernel, level, "", points, elapsed)
+}
+
+// RecordVariant is Record for kernels with multiple inner-loop backends:
+// variant names the one this invocation dispatched to (tune's
+// scalar/buffered/simd). The row remembers the latest non-empty variant —
+// during tuner calibration invocations alternate backends, so the
+// remembered value converges to the settled choice; a snapshot taken
+// mid-calibration reports the variant most recently tried.
+func (c *Collector) RecordVariant(worker int, kernel string, level int, variant string, points int64, elapsed time.Duration) {
 	if c == nil {
 		return
 	}
@@ -126,6 +137,9 @@ func (c *Collector) Record(worker int, kernel string, level int, points int64, e
 	cl.invocations++
 	cl.points += uint64(points)
 	cl.nanos += uint64(elapsed)
+	if variant != "" {
+		cl.variant = variant
+	}
 	cl.hist[histBucket(uint64(elapsed))]++
 	s.mu.Unlock()
 }
@@ -162,12 +176,15 @@ func (c *Collector) Reset() {
 // per-bucket (non-cumulative) invocation-duration histogram; bucket i's
 // upper bound is HistBound(i) nanoseconds.
 type KernelStat struct {
-	Kernel      string   `json:"kernel"`
-	Level       int      `json:"level"`
-	Invocations uint64   `json:"invocations"`
-	Points      uint64   `json:"points"`
-	Nanos       uint64   `json:"nanos"`
-	Hist        []uint64 `json:"hist,omitempty"`
+	Kernel      string `json:"kernel"`
+	Level       int    `json:"level"`
+	Invocations uint64 `json:"invocations"`
+	Points      uint64 `json:"points"`
+	Nanos       uint64 `json:"nanos"`
+	// Variant is the kernel backend the invocations dispatched to
+	// (RecordVariant); empty for kernels with a single backend.
+	Variant string   `json:"variant,omitempty"`
+	Hist    []uint64 `json:"hist,omitempty"`
 }
 
 // Seconds returns the accumulated wall time.
@@ -226,6 +243,9 @@ func (c *Collector) Snapshot() Snapshot {
 			m.Invocations += cl.invocations
 			m.Points += cl.points
 			m.Nanos += cl.nanos
+			if cl.variant != "" {
+				m.Variant = cl.variant
+			}
 			for b, n := range cl.hist {
 				m.Hist[b] += n
 			}
@@ -259,6 +279,17 @@ type Cost struct {
 	Bytes float64
 }
 
+// CostModel resolves the per-point work model of one kernel row given
+// the backend variant its invocations dispatched to (KernelStat.Variant;
+// core.KernelCost is the canonical implementation). A zero Cost means
+// "no model": the row gets no derived throughput columns.
+type CostModel func(kernel, variant string) Cost
+
+// CostMap adapts a variant-blind per-kernel cost table to a CostModel.
+func CostMap(m map[string]Cost) CostModel {
+	return func(kernel, _ string) Cost { return m[kernel] }
+}
+
 // TotalKernel is the pseudo-kernel name under which whole-solve spans are
 // recorded (core.Benchmark.Solve); Coverage measures every other kernel
 // against it.
@@ -283,16 +314,17 @@ func (s Snapshot) Coverage() (fraction float64, ok bool) {
 }
 
 // WriteReport renders the per-(kernel, level) table. costs supplies the
-// per-point work model per kernel name; kernels without an entry get no
-// derived columns. A coverage line follows when a solve span was recorded.
-func (s Snapshot) WriteReport(w io.Writer, costs map[string]Cost) {
+// per-point work model per (kernel, variant); rows resolving to a zero
+// Cost get no derived columns. A coverage line follows when a solve span
+// was recorded.
+func (s Snapshot) WriteReport(w io.Writer, costs CostModel) {
 	fmt.Fprintf(w, "Per-kernel metrics\n")
-	fmt.Fprintf(w, "%-18s %6s %8s %14s %12s %9s %8s\n",
-		"kernel", "level", "calls", "points", "ms", "GFLOP/s", "GB/s")
+	fmt.Fprintf(w, "%-18s %6s %9s %8s %14s %12s %9s %8s\n",
+		"kernel", "level", "variant", "calls", "points", "ms", "GFLOP/s", "GB/s")
 	for _, k := range s.Kernels {
-		line := fmt.Sprintf("%-18s %6d %8d %14d %12.3f", k.Kernel, k.Level,
-			k.Invocations, k.Points, k.Seconds()*1e3)
-		if cost, ok := costs[k.Kernel]; ok {
+		line := fmt.Sprintf("%-18s %6d %9s %8d %14d %12.3f", k.Kernel, k.Level,
+			k.Variant, k.Invocations, k.Points, k.Seconds()*1e3)
+		if cost := costs(k.Kernel, k.Variant); cost != (Cost{}) {
 			line += fmt.Sprintf(" %9.2f %8.2f", k.GFLOPS(cost.Flops), k.GBPerSec(cost.Bytes))
 		}
 		fmt.Fprintln(w, line)

@@ -86,12 +86,47 @@ func TestCoverage(t *testing.T) {
 	}
 }
 
+// RecordVariant stamps the row with the dispatched backend; the latest
+// non-empty variant wins (mid-calibration the backends alternate), and
+// the cost model sees it when deriving throughput.
+func TestRecordVariant(t *testing.T) {
+	c := NewCollector(2)
+	c.RecordVariant(0, "subRelax", 5, "scalar", 100, time.Millisecond)
+	c.RecordVariant(0, "subRelax", 5, "buffered", 100, time.Millisecond)
+	c.Record(0, "comm3", 5, 100, time.Millisecond)
+	snap := c.Snapshot()
+	byKernel := map[string]KernelStat{}
+	for _, k := range snap.Kernels {
+		byKernel[k.Kernel] = k
+	}
+	if got := byKernel["subRelax"].Variant; got != "buffered" {
+		t.Fatalf("subRelax variant = %q, want latest %q", got, "buffered")
+	}
+	if got := byKernel["comm3"].Variant; got != "" {
+		t.Fatalf("comm3 variant = %q, want empty (plain Record)", got)
+	}
+	var seen []string
+	var buf bytes.Buffer
+	snap.WriteReport(&buf, func(kernel, variant string) Cost {
+		seen = append(seen, kernel+"/"+variant)
+		return Cost{}
+	})
+	want := "subRelax/buffered"
+	ok := false
+	for _, s := range seen {
+		ok = ok || s == want
+	}
+	if !ok {
+		t.Fatalf("cost model never saw %q; calls: %v", want, seen)
+	}
+}
+
 func TestResetAndWriteReport(t *testing.T) {
 	c := NewCollector(2)
 	c.Record(0, "subRelax", 5, 100, time.Millisecond)
 	c.Record(0, TotalKernel, 5, 100, 2*time.Millisecond)
 	var buf bytes.Buffer
-	c.Snapshot().WriteReport(&buf, map[string]Cost{"subRelax": {Flops: 24, Bytes: 24}})
+	c.Snapshot().WriteReport(&buf, CostMap(map[string]Cost{"subRelax": {Flops: 24, Bytes: 24}}))
 	out := buf.String()
 	for _, want := range []string{"subRelax", "kernel coverage", "GFLOP/s"} {
 		if !strings.Contains(out, want) {

@@ -19,7 +19,7 @@ import (
 // bandwidth gauges (for kernels with a cost model), the coverage ratio,
 // and per-worker scheduler counters. Label values are the kernel name and
 // the decimal grid level, so one series per (kernel, level) cell.
-func (s Snapshot) WritePrometheus(w io.Writer, costs map[string]Cost) {
+func (s Snapshot) WritePrometheus(w io.Writer, costs CostModel) {
 	fmt.Fprintln(w, "# HELP mg_kernel_invocations_total Fused-kernel invocations per (kernel, grid level).")
 	fmt.Fprintln(w, "# TYPE mg_kernel_invocations_total counter")
 	for _, k := range s.Kernels {
@@ -60,7 +60,7 @@ func (s Snapshot) WritePrometheus(w io.Writer, costs map[string]Cost) {
 		fmt.Fprintln(w, "# HELP mg_kernel_gflops Effective GFLOP/s per (kernel, grid level), from the per-point work model.")
 		fmt.Fprintln(w, "# TYPE mg_kernel_gflops gauge")
 		for _, k := range s.Kernels {
-			if cost, ok := costs[k.Kernel]; ok {
+			if cost := costs(k.Kernel, k.Variant); cost != (Cost{}) {
 				fmt.Fprintf(w, "mg_kernel_gflops{kernel=%q,level=\"%d\"} %g\n",
 					k.Kernel, k.Level, k.GFLOPS(cost.Flops))
 			}
@@ -68,7 +68,7 @@ func (s Snapshot) WritePrometheus(w io.Writer, costs map[string]Cost) {
 		fmt.Fprintln(w, "# HELP mg_kernel_gb_per_second Effective memory bandwidth per (kernel, grid level).")
 		fmt.Fprintln(w, "# TYPE mg_kernel_gb_per_second gauge")
 		for _, k := range s.Kernels {
-			if cost, ok := costs[k.Kernel]; ok {
+			if cost := costs(k.Kernel, k.Variant); cost != (Cost{}) {
 				fmt.Fprintf(w, "mg_kernel_gb_per_second{kernel=%q,level=\"%d\"} %g\n",
 					k.Kernel, k.Level, k.GBPerSec(cost.Bytes))
 			}

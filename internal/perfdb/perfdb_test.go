@@ -1,7 +1,9 @@
 package perfdb
 
 import (
+	"bytes"
 	"encoding/json"
+	"fmt"
 	"math"
 	"os"
 	"path/filepath"
@@ -121,7 +123,7 @@ func TestReadAndLoadRejectCorruptFiles(t *testing.T) {
 	// A mis-versioned file on disk is rejected by Load with the path in
 	// the message.
 	bad := fixtureSnapshot("", 0, 1)
-	bad.Schema = 2
+	bad.Schema = SchemaVersion + 1
 	data, err := json.Marshal(bad)
 	if err != nil {
 		t.Fatal(err)
@@ -134,9 +136,56 @@ func TestReadAndLoadRejectCorruptFiles(t *testing.T) {
 	if err == nil {
 		t.Fatal("Load accepted a mis-versioned snapshot")
 	}
-	if !strings.Contains(err.Error(), "unsupported schema version 2") ||
+	if !strings.Contains(err.Error(), fmt.Sprintf("unsupported schema version %d", SchemaVersion+1)) ||
 		!strings.Contains(err.Error(), "BENCH_bad.json") {
 		t.Errorf("Load error %q missing version or path", err)
+	}
+}
+
+// Schema-1 snapshots (written before the per-row Variant field) must
+// keep loading; their rows come back with an empty Variant, meaning the
+// scalar kernels those snapshots measured.
+func TestReadAcceptsSchema1(t *testing.T) {
+	old := fixtureSnapshot("", 0, 1)
+	old.Schema = 1
+	data, err := json.Marshal(old)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := Read(bytes.NewReader(data))
+	if err != nil {
+		t.Fatalf("schema-1 snapshot rejected: %v", err)
+	}
+	for _, r := range s.Rows {
+		if r.Variant != "" {
+			t.Fatalf("row %s: schema-1 load produced variant %q, want empty", r.Key(), r.Variant)
+		}
+	}
+}
+
+// The Variant field survives a Write/Read round trip and stays off the
+// wire when empty.
+func TestVariantRoundTrip(t *testing.T) {
+	s := fixtureSnapshot("", 0, 1)
+	s.Rows[0].Variant = "buffered"
+	var buf bytes.Buffer
+	if err := s.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Read(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := back.Rows[0].Variant; got != "buffered" {
+		t.Fatalf("variant after round trip = %q, want %q", got, "buffered")
+	}
+	unstamped := fixtureSnapshot("", 0, 1)
+	buf.Reset()
+	if err := unstamped.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(buf.Bytes(), []byte(`"variant"`)) {
+		t.Fatalf("empty variants serialized a field:\n%s", buf.String())
 	}
 }
 

@@ -1,0 +1,150 @@
+package simd
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// withAsm runs f under both dispatch paths (when AVX2 is available) or
+// just the fallback (when not), so the suite is meaningful on every host.
+func withAsm(t *testing.T, f func(t *testing.T)) {
+	t.Helper()
+	saved := useAsm
+	defer func() { useAsm = saved }()
+	useAsm = false
+	t.Run("fallback", f)
+	if saved {
+		useAsm = true
+		t.Run("avx2", f)
+	}
+}
+
+func randRow(rng *rand.Rand, n int) []float64 {
+	r := make([]float64, n)
+	for i := range r {
+		r[i] = rng.NormFloat64()
+	}
+	return r
+}
+
+// refStencil is an independent statement of the canonical combine tree.
+func refStencil(x, u1, u2 []float64, k int, c *[4]float64) float64 {
+	s1 := (x[k-1] + x[k+1]) + u1[k]
+	s2 := (u2[k] + u1[k-1]) + u1[k+1]
+	s3 := u2[k-1] + u2[k+1]
+	return ((c[0]*x[k] + c[1]*s1) + c[2]*s2) + c[3]*s3
+}
+
+// TestRowsBitIdentical checks every primitive against an element-wise
+// reference, under both dispatch paths, across row lengths covering the
+// empty, tail-only and vector+tail cases.
+func TestRowsBitIdentical(t *testing.T) {
+	c := [4]float64{-8.0 / 3.0, 0.0, 1.0 / 6.0, 1.0 / 12.0}
+	for _, n := range []int{0, 1, 2, 3, 4, 5, 7, 8, 9, 34, 130, 258} {
+		rng := rand.New(rand.NewSource(int64(n) + 1))
+		a, b, d, e := randRow(rng, n), randRow(rng, n), randRow(rng, n), randRow(rng, n)
+		v, x, u1, u2 := randRow(rng, n), randRow(rng, n), randRow(rng, n), randRow(rng, n)
+		withAsm(t, func(t *testing.T) {
+			dst := make([]float64, n)
+			Sum2(dst, a, b)
+			for i := range dst {
+				if want := a[i] + b[i]; dst[i] != want {
+					t.Fatalf("Sum2 n=%d [%d]: got %x want %x", n, i, dst[i], want)
+				}
+			}
+			Sum4(dst, a, b, d, e)
+			for i := range dst {
+				if want := ((a[i] + b[i]) + d[i]) + e[i]; dst[i] != want {
+					t.Fatalf("Sum4 n=%d [%d]: got %x want %x", n, i, dst[i], want)
+				}
+			}
+			if n < 2 {
+				return
+			}
+			o := make([]float64, n)
+			SubRelaxRow(o, v, x, u1, u2, &c)
+			for k := 1; k < n-1; k++ {
+				if want := v[k] - refStencil(x, u1, u2, k, &c); o[k] != want {
+					t.Fatalf("SubRelaxRow n=%d [%d]: got %x want %x", n, k, o[k], want)
+				}
+			}
+			AddRelaxRow(o, v, x, u1, u2, &c)
+			for k := 1; k < n-1; k++ {
+				if want := v[k] + refStencil(x, u1, u2, k, &c); o[k] != want {
+					t.Fatalf("AddRelaxRow n=%d [%d]: got %x want %x", n, k, o[k], want)
+				}
+			}
+			AddRelaxPlusRow(o, e, v, x, u1, u2, &c)
+			for k := 1; k < n-1; k++ {
+				if want := e[k] + (v[k] + refStencil(x, u1, u2, k, &c)); o[k] != want {
+					t.Fatalf("AddRelaxPlusRow n=%d [%d]: got %x want %x", n, k, o[k], want)
+				}
+			}
+		})
+	}
+}
+
+// TestAsmMatchesFallback cross-checks the two dispatch paths against each
+// other on the same inputs — the direct statement of the bit-identity
+// contract. Skipped (trivially passing) when AVX2 is unavailable.
+func TestAsmMatchesFallback(t *testing.T) {
+	if !useAsm {
+		t.Skip("AVX2 path not active on this host")
+	}
+	saved := useAsm
+	defer func() { useAsm = saved }()
+	c := [4]float64{0.5, 0.25, 0.125, 0.0625}
+	rng := rand.New(rand.NewSource(7))
+	for _, n := range []int{6, 18, 66, 258} {
+		v, x, u1, u2 := randRow(rng, n), randRow(rng, n), randRow(rng, n), randRow(rng, n)
+		asm, ref := make([]float64, n), make([]float64, n)
+		useAsm = true
+		SubRelaxRow(asm, v, x, u1, u2, &c)
+		useAsm = false
+		SubRelaxRow(ref, v, x, u1, u2, &c)
+		for k := 1; k < n-1; k++ {
+			if asm[k] != ref[k] {
+				t.Fatalf("n=%d [%d]: asm %x fallback %x", n, k, asm[k], ref[k])
+			}
+		}
+	}
+}
+
+// TestSpecialValues checks the primitives propagate non-finite values the
+// way the Go expressions do.
+func TestSpecialValues(t *testing.T) {
+	inf := math.Inf(1)
+	a := []float64{1, inf, math.NaN(), -2, 3, 4, 5, 6}
+	b := []float64{2, -inf, 1, 7, 8, 9, 10, 11}
+	withAsm(t, func(t *testing.T) {
+		dst := make([]float64, len(a))
+		Sum2(dst, a, b)
+		if dst[0] != 3 || !math.IsNaN(dst[1]) || !math.IsNaN(dst[2]) {
+			t.Fatalf("Sum2 special values: got %v", dst[:3])
+		}
+	})
+}
+
+func BenchmarkSum4(bm *testing.B) {
+	n := 258
+	rng := rand.New(rand.NewSource(1))
+	a, b, c, d := randRow(rng, n), randRow(rng, n), randRow(rng, n), randRow(rng, n)
+	dst := make([]float64, n)
+	bm.SetBytes(int64(5 * 8 * n))
+	for i := 0; i < bm.N; i++ {
+		Sum4(dst, a, b, c, d)
+	}
+}
+
+func BenchmarkSubRelaxRow(bm *testing.B) {
+	n := 258
+	c := [4]float64{-8.0 / 3.0, 0.0, 1.0 / 6.0, 1.0 / 12.0}
+	rng := rand.New(rand.NewSource(2))
+	v, x, u1, u2 := randRow(rng, n), randRow(rng, n), randRow(rng, n), randRow(rng, n)
+	o := make([]float64, n)
+	bm.SetBytes(int64(5 * 8 * n))
+	for i := 0; i < bm.N; i++ {
+		SubRelaxRow(o, v, x, u1, u2, &c)
+	}
+}

@@ -1,0 +1,21 @@
+package simd
+
+// Assembly kernels (kernels_amd64.s). n is the element count to process
+// and must be a multiple of 4; the relax rows start at index 1 (the row
+// interior) and read indices 0..n+1 of every input, so the caller
+// guarantees n ≤ len−2.
+
+//go:noescape
+func sum2AVX2(dst, a, b *float64, n int)
+
+//go:noescape
+func sum4AVX2(dst, a, b, c, d *float64, n int)
+
+//go:noescape
+func subRelaxRowAVX2(o, v, x, u1, u2 *float64, n int, c *[4]float64)
+
+//go:noescape
+func addRelaxRowAVX2(o, z, x, u1, u2 *float64, n int, c *[4]float64)
+
+//go:noescape
+func addRelaxPlusRowAVX2(o, w, z, x, u1, u2 *float64, n int, c *[4]float64)

@@ -21,12 +21,29 @@
 //     between neighbouring result elements through two line buffers,
 //     reducing the additions to 12–20. The paper states SAC does *not*
 //     perform this optimization — which is exactly why the reference
-//     implementation (internal/f77) wins Fig. 11. It is exposed here for
-//     the stencil ablation benchmarks.
+//     implementation (internal/f77) wins Fig. 11. internal/core deploys
+//     the same trick inside its fused kernels (tune.VariantBuffered).
 //
-// The generic and fused kernels accumulate neighbour sums in the same
-// (lexicographic) order, so they are bit-identical; the buffered kernel
-// associates additions differently and agrees only up to rounding.
+// # The canonical association
+//
+// All kernels fold neighbour sums in one fixed, line-buffer-compatible
+// association so that every variant — generic, fused, buffered, and the
+// SIMD rows of internal/simd — produces bit-identical results. Writing
+// uXY[k] for the neighbour value at plane offset X, row offset Y and
+// column position k, the per-element sums are
+//
+//	u1[k] = ((uMZ[k] + uZM[k]) + uZP[k]) + uPZ[k]   (in-plane faces)
+//	u2[k] = ((uMM[k] + uMP[k]) + uPM[k]) + uPP[k]   (in-plane edges)
+//	s1    = (uZZ[k-1] + uZZ[k+1]) + u1[k]
+//	s2    = (u2[k] + u1[k-1]) + u1[k+1]
+//	s3    = u2[k-1] + u2[k+1]
+//	out   = ((c0·uZZ[k] + c1·s1) + c2·s2) + c3·s3
+//
+// u1 and u2 are pure functions of the column position, so the buffered
+// kernel can memoise them in two line buffers (the f77 u1/u2 arrays) and
+// the scalar kernels can expand them inline — the same additions in the
+// same order either way, hence bit-identical. Within each sub-sum the
+// operands appear in the lexicographic order of the neighbour offsets.
 package stencil
 
 import (
@@ -120,12 +137,14 @@ func Relax(e *wl.Env, a *array.Array, c Coeffs) *array.Array {
 	// Precompute linear offsets: within the inner generator every
 	// neighbour stays in bounds, so offset arithmetic is safe.
 	lin := make([]int, len(nbs))
+	buckets := make([]int, len(nbs))
 	for i, nb := range nbs {
 		d := 0
 		for j, o := range nb.off {
 			d += o * strides[j]
 		}
 		lin[i] = d
+		buckets[i] = bucketOf(nb, rank)
 	}
 	data := a.Data()
 	return e.Genarray(shp, wl.Inner(shp), func(iv shape.Index) float64 {
@@ -133,25 +152,79 @@ func Relax(e *wl.Env, a *array.Array, c Coeffs) *array.Array {
 		for j := range iv {
 			off += iv[j] * strides[j]
 		}
-		var s1, s2, s3 float64
-		for i, nb := range nbs {
+		// The seven partial sums of the canonical association (package
+		// comment); buckets a lower-rank grid does not populate stay
+		// exact zeros and drop out of the chains.
+		var zk, u1, u2, u1m, u1p, u2m, u2p float64
+		for i := range nbs {
 			v := data[off+lin[i]]
-			switch nb.class {
-			case 1:
-				s1 += v
-			case 2:
-				s2 += v
+			switch buckets[i] {
+			case bZK:
+				zk += v
+			case bU1:
+				u1 += v
+			case bU2:
+				u2 += v
+			case bU1M:
+				u1m += v
+			case bU1P:
+				u1p += v
+			case bU2M:
+				u2m += v
 			default:
-				s3 += v
+				u2p += v
 			}
 		}
+		s1 := zk + u1
+		s2 := (u2 + u1m) + u1p
+		s3 := u2m + u2p
 		return ((c[0]*data[off] + c[1]*s1) + c[2]*s2) + c[3]*s3
 	})
 }
 
-// relax3Fused is the four-multiplication rank-3 kernel. Neighbour sums are
-// accumulated in the same lexicographic order as the generic path so that
-// both produce identical floating-point results.
+// The partial-sum buckets of the canonical association. The last axis is
+// the column (k) axis; class-2 neighbours one column over are the u1 terms
+// of that column, class-3 neighbours the u2 terms.
+const (
+	bZK  = iota // class 1, off the column axis: uZZ[k±1]
+	bU1         // class 1 in-column: u1[k]
+	bU2         // class 2 in-column: u2[k]
+	bU1M        // class 2 at column k-1: u1[k-1]
+	bU1P        // class 2 at column k+1: u1[k+1]
+	bU2M        // class 3 at column k-1: u2[k-1]
+	bU2P        // class 3 at column k+1: u2[k+1]
+)
+
+// bucketOf classifies a neighbour offset into its partial-sum bucket by
+// distance class and offset along the last (column) axis.
+func bucketOf(nb neighbour, rank int) int {
+	last := nb.off[rank-1]
+	switch nb.class {
+	case 1:
+		if last != 0 {
+			return bZK
+		}
+		return bU1
+	case 2:
+		switch last {
+		case 0:
+			return bU2
+		case -1:
+			return bU1M
+		default:
+			return bU1P
+		}
+	default:
+		if last < 0 {
+			return bU2M
+		}
+		return bU2P
+	}
+}
+
+// relax3Fused is the four-multiplication rank-3 kernel. Neighbour sums
+// fold in the canonical association (package comment) so that the generic,
+// fused and buffered paths all produce identical floating-point results.
 func relax3Fused(e *wl.Env, a *array.Array, c Coeffs) *array.Array {
 	shp := a.Shape()
 	n0, n1, n2 := shp[0], shp[1], shp[2]
@@ -179,16 +252,17 @@ func relax3Fused(e *wl.Env, a *array.Array, c Coeffs) *array.Array {
 				pz := ((i+1)*n1 + j) * n2       // i+1, j
 				pp := ((i+1)*n1 + (j + 1)) * n2 // i+1, j+1
 				for k := 1; k < n2-1; k++ {
-					// Lexicographic accumulation over {-1,0,1}^3 \ {0}:
-					// class 1 (faces):
-					s1 := ad[mz+k] + ad[zm+k] + ad[zz+k-1] + ad[zz+k+1] + ad[zp+k] + ad[pz+k]
-					// class 2 (edges):
-					s2 := ad[mm+k] + ad[mz+k-1] + ad[mz+k+1] + ad[mp+k] +
-						ad[zm+k-1] + ad[zm+k+1] + ad[zp+k-1] + ad[zp+k+1] +
-						ad[pm+k] + ad[pz+k-1] + ad[pz+k+1] + ad[pp+k]
-					// class 3 (corners):
-					s3 := ad[mm+k-1] + ad[mm+k+1] + ad[mp+k-1] + ad[mp+k+1] +
-						ad[pm+k-1] + ad[pm+k+1] + ad[pp+k-1] + ad[pp+k+1]
+					// The canonical association, u1/u2 expanded inline at
+					// the three columns k-1, k, k+1 (package comment).
+					u1m := ((ad[mz+k-1] + ad[zm+k-1]) + ad[zp+k-1]) + ad[pz+k-1]
+					u1z := ((ad[mz+k] + ad[zm+k]) + ad[zp+k]) + ad[pz+k]
+					u1p := ((ad[mz+k+1] + ad[zm+k+1]) + ad[zp+k+1]) + ad[pz+k+1]
+					u2m := ((ad[mm+k-1] + ad[mp+k-1]) + ad[pm+k-1]) + ad[pp+k-1]
+					u2z := ((ad[mm+k] + ad[mp+k]) + ad[pm+k]) + ad[pp+k]
+					u2p := ((ad[mm+k+1] + ad[mp+k+1]) + ad[pm+k+1]) + ad[pp+k+1]
+					s1 := (ad[zz+k-1] + ad[zz+k+1]) + u1z
+					s2 := (u2z + u1m) + u1p
+					s3 := u2m + u2p
 					od[zz+k] = ((c0*ad[zz+k] + c1*s1) + c2*s2) + c3*s3
 				}
 			}
@@ -200,8 +274,9 @@ func relax3Fused(e *wl.Env, a *array.Array, c Coeffs) *array.Array {
 // Relax3Buffered is the line-buffered Fortran-77 kernel: partial sums along
 // the contiguous axis are shared between neighbouring result elements
 // through two buffers, cutting the 26 additions per element to 12–20
-// (paper, §5). The result agrees with Relax up to floating-point
-// reassociation, not bitwise. Boundary elements of the result are zero.
+// (paper, §5). The buffers memoise exactly the u1/u2 sub-sums of the
+// canonical association (package comment), so the result is bit-identical
+// to Relax. Boundary elements of the result are zero.
 //
 // buf1 and buf2 must each hold at least shape[2] elements, or be nil to
 // allocate internally; passing buffers lets callers hoist the allocation
@@ -232,14 +307,14 @@ func Relax3Buffered(e *wl.Env, a *array.Array, c Coeffs, buf1, buf2 []float64) *
 				pp := ((i+1)*n1 + (j + 1)) * n2
 				for k := 0; k < n2; k++ {
 					// u1: the four class-1 neighbours off the k axis.
-					u1[k] = ad[mz+k] + ad[pz+k] + ad[zm+k] + ad[zp+k]
+					u1[k] = ((ad[mz+k] + ad[zm+k]) + ad[zp+k]) + ad[pz+k]
 					// u2: the four class-2 neighbours off the k axis.
-					u2[k] = ad[mm+k] + ad[mp+k] + ad[pm+k] + ad[pp+k]
+					u2[k] = ((ad[mm+k] + ad[mp+k]) + ad[pm+k]) + ad[pp+k]
 				}
 				for k := 1; k < n2-1; k++ {
-					od[zz+k] = c0*ad[zz+k] +
-						c1*(ad[zz+k-1]+ad[zz+k+1]+u1[k]) +
-						c2*(u2[k]+u1[k-1]+u1[k+1]) +
+					od[zz+k] = ((c0*ad[zz+k] +
+						c1*((ad[zz+k-1]+ad[zz+k+1])+u1[k])) +
+						c2*((u2[k]+u1[k-1])+u1[k+1])) +
 						c3*(u2[k-1]+u2[k+1])
 				}
 			}
@@ -279,12 +354,14 @@ func FlopsPerElement(variant string) (mults, adds int) {
 	case "naive":
 		return 27, 26
 	case "fused":
-		return 4, 26 + 3 // 26 neighbour adds + 3 class-combining adds
+		// 19 in-bucket adds (26 neighbours in 7 buckets) + 4 cross-bucket
+		// adds (s1, s2, s3) + 3 class-combining adds.
+		return 4, 26
 	case "buffered":
-		// 8 adds amortised into the two line buffers + 3+3+2 combining
-		// adds + 3 class adds per element ≈ 19 (between the paper's
-		// 12 and 20 depending on stencil sparsity).
-		return 4, 19
+		// 6 adds amortised into the two line buffers (u1, u2: 3 each) +
+		// 5 combining adds (zk, s1, s2, s3) + 3 class adds per element
+		// = 14 (between the paper's 12 and 20).
+		return 4, 14
 	default:
 		panic(fmt.Sprintf("stencil: unknown variant %q", variant))
 	}

@@ -33,6 +33,11 @@ func FuzzProfileLoad(f *testing.F) {
 	f.Add([]byte("not json at all"))
 	f.Add([]byte(`{"workers":"four"}`))
 	f.Add([]byte(`{"plans":{"a@-3":{"tile":-1}}}`))
+	// Seed 6: kernel-variant plans — valid, unknown, and a pre-variant
+	// profile (no "kernel" field at all; must load as scalar).
+	f.Add([]byte(`{"workers":4,"plans":{"subRelax@5":{"policy":"dynamic","kernel":"buffered"}}}`))
+	f.Add([]byte(`{"workers":4,"plans":{"subRelax@5":{"policy":"dynamic","kernel":"turbo"}}}`))
+	f.Add([]byte(`{"workers":4,"plans":{"subRelax@5":{"policy":"dynamic","tile":16}}}`))
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		tu := New(4)
@@ -58,10 +63,10 @@ func FuzzProfileLoad(f *testing.F) {
 // FuzzPlanRoundTrip drives SetPlan/Save/Load with fuzzer-chosen plan
 // fields and checks the profile survives unchanged.
 func FuzzPlanRoundTrip(f *testing.F) {
-	f.Add("subRelax", 5, uint8(2), 4, 0, 16)
-	f.Add("a@b", 0, uint8(0), 0, 1<<40, 0)
-	f.Add("", 12, uint8(3), -1, -1, -1)
-	f.Fuzz(func(t *testing.T, kernel string, level int, policy uint8, chunk, seq, tile int) {
+	f.Add("subRelax", 5, uint8(2), 4, 0, 16, uint8(0))
+	f.Add("a@b", 0, uint8(0), 0, 1<<40, 0, uint8(2))
+	f.Add("", 12, uint8(3), -1, -1, -1, uint8(3))
+	f.Fuzz(func(t *testing.T, kernel string, level int, policy uint8, chunk, seq, tile int, variant uint8) {
 		if !utf8.ValidString(kernel) {
 			// encoding/json replaces invalid UTF-8 with U+FFFD, which
 			// would legitimately change the key; that is JSON's contract,
@@ -73,6 +78,7 @@ func FuzzPlanRoundTrip(f *testing.F) {
 			Chunk:        chunk,
 			SeqThreshold: seq,
 			Tile:         tile,
+			Kernel:       []string{"", VariantScalar, VariantBuffered, VariantSIMD}[variant%4],
 		}
 		key := Key{Kernel: kernel, Level: level}
 		tu := New(2)
@@ -108,6 +114,7 @@ func TestLoadCorruptInputs(t *testing.T) {
 		{"key bad level", `{"plans":{"subRelax@five":{"policy":"dynamic"}}}`},
 		{"bad policy", `{"plans":{"subRelax@5":{"policy":"fancy"}}}`},
 		{"wrong types", `{"plans":{"subRelax@5":{"tile":"big"}}}`},
+		{"bad variant", `{"plans":{"subRelax@5":{"policy":"dynamic","kernel":"turbo"}}}`},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

@@ -9,15 +9,17 @@
 // the sequential-threshold decision adaptively. This package generalises
 // both: each (kernel, level) pair gets its own execution Plan.
 //
-// A Plan fixes the scheduling policy, chunk size, sequential threshold and
-// cache tile size of one kernel at one grid level. The Tuner calibrates
-// plans online: the first executions of a key cycle through a candidate
-// set (each candidate measured Trials times, best-of kept, NPB style), and
+// A Plan fixes the scheduling policy, chunk size, sequential threshold,
+// cache tile size and inner-loop kernel variant (scalar, line-buffered or
+// SIMD) of one kernel at one grid level. The Tuner calibrates plans
+// online: the first executions of a key cycle through a candidate set
+// (each candidate measured Trials times, best-of kept, NPB style), and
 // once every candidate has been measured the fastest plan is cached and
 // used for all subsequent executions. Calibration never changes results —
 // every candidate plan produces bit-identical output (the determinism
-// contract of internal/sched plus the order-preserving norm accumulation
-// of the fused kernels), so the tuner is free to experiment mid-run.
+// contract of internal/sched, the order-preserving norm accumulation of
+// the fused kernels, and the shared canonical association of all kernel
+// variants), so the tuner is free to experiment mid-run.
 //
 // Calibrated plans serialize to JSON (Save/Load), so a profile measured
 // once can be shipped with a deployment and applied from the first
@@ -36,12 +38,35 @@ import (
 	"time"
 
 	"repro/internal/sched"
+	"repro/internal/simd"
 )
 
 // SeqAlways is a sequential-threshold value that forces sequential
 // execution of any realistic index space — the "stay sequential" candidate
 // for coarse grids.
 const SeqAlways = 1 << 40
+
+// Kernel-variant names for Plan.Kernel. An empty Kernel field means
+// scalar, so profiles saved before the field existed load unchanged.
+const (
+	VariantScalar   = "scalar"
+	VariantBuffered = "buffered"
+	VariantSIMD     = "simd"
+)
+
+// ValidVariant reports whether s names a kernel variant ("" = scalar).
+func ValidVariant(s string) bool {
+	switch s {
+	case "", VariantScalar, VariantBuffered, VariantSIMD:
+		return true
+	}
+	return false
+}
+
+// ForcedVariant returns the process-wide kernel-variant override from the
+// MG_FORCE_VARIANT environment variable ("" when unset). Read once: the
+// override is a CI/debug lever, not a runtime toggle.
+var ForcedVariant = sync.OnceValue(func() string { return os.Getenv("MG_FORCE_VARIANT") })
 
 // Plan is the tuned execution schedule of one kernel at one grid level.
 type Plan struct {
@@ -55,6 +80,20 @@ type Plan struct {
 	// Tile is the j/k cache-tile edge of the tiled rank-3 kernels
 	// (0 = untiled full-plane traversal).
 	Tile int `json:"tile,omitempty"`
+	// Kernel selects the inner-loop backend of the rank-3 plane kernels:
+	// VariantScalar, VariantBuffered or VariantSIMD. Empty means scalar
+	// (the pre-variant profile format). The buffered and simd backends
+	// ignore Tile (their line buffers already serialise full rows).
+	Kernel string `json:"kernel,omitempty"`
+}
+
+// Variant returns the plan's kernel backend, mapping the empty field of
+// old profiles to VariantScalar.
+func (p Plan) Variant() string {
+	if p.Kernel == "" {
+		return VariantScalar
+	}
+	return p.Kernel
 }
 
 // ForOptions converts the plan into scheduler loop options.
@@ -75,6 +114,9 @@ func (p Plan) String() string {
 	}
 	if p.Tile > 0 {
 		s += fmt.Sprintf(" tile=%d", p.Tile)
+	}
+	if v := p.Variant(); v != VariantScalar {
+		s += " " + v
 	}
 	return s
 }
@@ -177,10 +219,29 @@ func (t *Tuner) candidates(key Key) []Plan {
 	} else {
 		scheds = []Plan{{Policy: sched.StaticBlock, SeqThreshold: SeqAlways}}
 	}
-	plans := make([]Plan, 0, len(scheds)*len(tiles))
+	// The variant candidates ride each scheduling policy untiled: the
+	// buffered/simd backends ignore the tile edge, so tiled duplicates
+	// would only dilute the calibration budget. Rows shorter than 8
+	// cannot amortise the line-buffer fills, so coarse levels keep the
+	// scalar-only candidate set. The simd candidate is offered only
+	// where the AVX2 path is live — elsewhere it would measure
+	// identically to buffered arithmetic done the slower way.
+	var variants []string
+	if n >= 8 {
+		variants = append(variants, VariantBuffered)
+		if simd.Available() {
+			variants = append(variants, VariantSIMD)
+		}
+	}
+	plans := make([]Plan, 0, len(scheds)*(len(tiles)+len(variants)))
 	for _, s := range scheds {
 		for _, tile := range tiles {
 			s.Tile = tile
+			plans = append(plans, s)
+		}
+		s.Tile = 0
+		for _, v := range variants {
+			s.Kernel = v
 			plans = append(plans, s)
 		}
 	}
@@ -352,6 +413,9 @@ func (t *Tuner) Load(r io.Reader) error {
 		key, err := parseKey(name)
 		if err != nil {
 			return err
+		}
+		if !ValidVariant(plan.Kernel) {
+			return fmt.Errorf("tune: key %q: unknown kernel variant %q", name, plan.Kernel)
 		}
 		t.SetPlan(key, plan)
 	}

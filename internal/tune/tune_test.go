@@ -3,6 +3,7 @@ package tune
 import (
 	"bytes"
 	"reflect"
+	"strings"
 	"testing"
 	"time"
 
@@ -121,6 +122,37 @@ func TestJSONRoundTrip(t *testing.T) {
 	}
 	if !bytes.Contains(buf.Bytes(), []byte(`"dynamic"`)) {
 		t.Fatalf("policies not serialized by name:\n%s", buf.String())
+	}
+}
+
+// Profiles written before the kernel-variant field existed (no "kernel"
+// key in any plan) must keep loading, and their plans must dispatch as
+// scalar — the only backend those profiles could have measured.
+func TestLoadOldProfileDefaultsScalar(t *testing.T) {
+	old := `{"workers":4,"plans":{
+		"subRelax@5":{"policy":"dynamic","chunk":2,"tile":16},
+		"interpolate@3":{"policy":"static-block","seq_threshold":-1}}}`
+	tu := New(4)
+	if err := tu.Load(strings.NewReader(old)); err != nil {
+		t.Fatalf("pre-variant profile rejected: %v", err)
+	}
+	for key, plan := range tu.Plans() {
+		if plan.Kernel != "" {
+			t.Fatalf("%v: old profile loaded with Kernel %q, want empty", key, plan.Kernel)
+		}
+		if v := plan.Variant(); v != VariantScalar {
+			t.Fatalf("%v: Variant() = %q, want %q", key, v, VariantScalar)
+		}
+	}
+	// And the scalar default stays invisible on the wire: a plan with no
+	// explicit variant must serialize without a "kernel" key, so profiles
+	// written by this version remain readable by the previous one.
+	var buf bytes.Buffer
+	if err := tu.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(buf.Bytes(), []byte(`"kernel"`)) {
+		t.Fatalf("default-variant plans serialized a kernel field:\n%s", buf.String())
 	}
 }
 

@@ -97,10 +97,17 @@ type Env struct {
 	// Tile is the j/k cache-tile edge of the tiled rank-3 kernels when no
 	// tuner overrides it (0 = untiled full-plane traversal).
 	Tile int
+	// Variant, when non-empty, forces the inner-loop kernel backend
+	// (tune.VariantScalar/Buffered/SIMD) for every plane kernel,
+	// overriding tuned plans — the -variant flag of cmd/mg and
+	// cmd/mgbench. The MG_FORCE_VARIANT environment variable overrides
+	// even this.
+	Variant string
 	// Tune, when non-nil, supplies per-(kernel, level) execution plans —
-	// scheduling policy, chunk, sequential threshold and tile size — and
-	// calibrates them on first use (see internal/tune). It overrides
-	// ForOpt, SeqThreshold and Tile for the kernels that consult it.
+	// scheduling policy, chunk, sequential threshold, tile size and
+	// kernel variant — and calibrates them on first use (see
+	// internal/tune). It overrides ForOpt, SeqThreshold and Tile for the
+	// kernels that consult it.
 	Tune *tune.Tuner
 	// Metrics, when non-nil, receives per-(kernel, level) invocation
 	// statistics from the fused kernels and the benchmark driver
@@ -197,29 +204,60 @@ func (e *Env) forOptions() sched.ForOptions {
 
 // PlanFor resolves the execution schedule of one named kernel invocation
 // at the given MG grid level: the scheduler options for its plane loop,
-// the cache-tile edge, and a commit function the kernel must call when the
-// loop has finished (it feeds the measured wall time back to the tuner
-// during calibration). perItem is the number of index vectors each loop
-// iteration covers; the sequential threshold is defined in index vectors,
-// so it is divided by perItem before reaching the scheduler.
+// the cache-tile edge, the inner-loop kernel variant, and a commit
+// function the kernel must call when the loop has finished (it feeds the
+// measured wall time back to the tuner during calibration). perItem is
+// the number of index vectors each loop iteration covers; the sequential
+// threshold is defined in index vectors, so it is divided by perItem
+// before reaching the scheduler.
+//
+// The variant resolves by precedence: MG_FORCE_VARIANT, then
+// Env.Variant, then the plan's Kernel field (scalar without a tuner).
 //
 // Without a tuner the plan is the environment's static configuration
-// (ForOpt, SeqThreshold, Tile) and commit is a no-op — bit-for-bit the
-// pre-tuner behaviour.
-func (e *Env) PlanFor(kernel string, level, perItem int) (sched.ForOptions, int, func()) {
+// (ForOpt, SeqThreshold, Tile, Variant) and commit is a no-op —
+// bit-for-bit the pre-tuner behaviour.
+func (e *Env) PlanFor(kernel string, level, perItem int) (sched.ForOptions, int, string, func()) {
 	if e.Tune != nil {
 		plan, commit := e.Tune.Begin(kernel, level)
 		opts := plan.ForOptions()
 		if perItem > 0 {
 			opts.SeqThreshold /= perItem
 		}
-		return opts, plan.Tile, commit
+		return opts, plan.Tile, e.variantOver(plan.Variant()), commit
 	}
 	opts := e.ForOpt
 	if perItem > 0 {
 		opts.SeqThreshold = max(opts.SeqThreshold, e.SeqThreshold) / perItem
 	}
-	return opts, e.Tile, noCommit
+	return opts, e.Tile, e.variantOver(tune.VariantScalar), noCommit
+}
+
+// VariantFor reports which kernel variant a (kernel, level) invocation
+// would run right now, without touching calibration state: the same
+// precedence as PlanFor, with the tuner's current plan (settled choice
+// or mid-calibration front-runner) as the base. Observation only — the
+// perf harness uses it to stamp snapshot rows with the backend that was
+// actually measured.
+func (e *Env) VariantFor(kernel string, level int) string {
+	planned := tune.VariantScalar
+	if e.Tune != nil {
+		if plan, ok := e.Tune.Plans()[tune.Key{Kernel: kernel, Level: level}]; ok {
+			planned = plan.Variant()
+		}
+	}
+	return e.variantOver(planned)
+}
+
+// variantOver applies the forced-variant precedence over a plan's choice.
+func (e *Env) variantOver(planned string) string {
+	if forced := tune.ForcedVariant(); forced != "" {
+		return forced
+	}
+	if e.Variant != "" {
+		return e.Variant
+	}
+	return planned
 }
 
 // noCommit is the shared no-op commit of untuned plans.
