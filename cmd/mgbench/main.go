@@ -83,7 +83,7 @@ import (
 
 func main() {
 	var (
-		fig         = flag.String("fig", "all", "figure to regenerate: 11, 12, 13, mpi, dist, codesize, tune, perf, health or all")
+		fig         = flag.String("fig", "all", "figure to regenerate: 11, 12, 13, mpi, dist, codesize, tune, perf, health, service or all")
 		classes     = flag.String("classes", "S,W", "comma-separated size classes (paper: W,A)")
 		repeats     = flag.Int("repeats", 3, "repetitions per Fig. 11 measurement (best reported)")
 		procs       = flag.Int("procs", 10, "simulated processor count for Figs. 12/13")
@@ -258,6 +258,13 @@ func main() {
 		}
 	case "health":
 		harness.RunHealth(out, classList, *workers)
+	case "service":
+		for _, class := range classList {
+			if _, err := harness.RunService(out, class, harness.ServiceConfig{}); err != nil {
+				fmt.Fprintln(os.Stderr, "mgbench:", err)
+				os.Exit(1)
+			}
+		}
 	case "perf":
 		regressed, err := runPerf(out, classList, *repo, *snapshotOut, *baseline, *samples, *warmup, *alpha, *threshold)
 		if err != nil {

@@ -1,0 +1,267 @@
+// Command mgd runs the MG solver as a resident service: an HTTP/JSON
+// API over the internal/jobq queue, with one process-global worker pool
+// and buffer arena shared by every job, a content-addressed result
+// cache, admission control and graceful drain.
+//
+//	mgd -addr :8750 -runners 2 -workers 8
+//
+// API:
+//
+//	POST /v1/solve        submit {"class":"A","impl":"sac",...};
+//	                      202 + job id, 200 on a cache hit or "wait":true,
+//	                      400 malformed, 429 + Retry-After when full,
+//	                      503 while draining
+//	GET  /v1/jobs/{id}    job status (any lifecycle state)
+//	GET  /v1/results/{id} terminal result; 202 while still in flight
+//	GET  /v1/stats        queue counters as JSON
+//	GET  /metrics         Prometheus text: mgd_* queue series plus the
+//	                      shared collector's per-kernel rows
+//	GET  /healthz         liveness
+//	GET  /readyz          readiness; 503 once draining begins
+//
+// SIGINT/SIGTERM starts a graceful shutdown: intake stops (readyz goes
+// unready, new submissions get 503), admitted jobs run to completion
+// within -drain-timeout, then stragglers are cancelled.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"math"
+	"net/http"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/jobq"
+	"repro/internal/mempool"
+	"repro/internal/metrics"
+	"repro/internal/sched"
+)
+
+func main() {
+	var (
+		addr         = flag.String("addr", ":8750", "listen address")
+		workers      = flag.Int("workers", 0, "shared worker pool size (0 = GOMAXPROCS)")
+		runners      = flag.Int("runners", 2, "jobs solved concurrently")
+		capacity     = flag.Int("capacity", 64, "admission limit: queued+running jobs")
+		cacheSize    = flag.Int("cache", 256, "result cache entries")
+		prios        = flag.String("priorities", "", "tenant priorities, e.g. gold=10,batch=-5")
+		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "graceful shutdown budget for in-flight jobs")
+		chaosTenant  = flag.String("chaos-nan-tenant", "", "fault injection: poison this tenant's results with NaN (testing)")
+	)
+	flag.Parse()
+
+	priorities, err := parsePriorities(*prios)
+	if err != nil {
+		log.Fatalf("mgd: -priorities: %v", err)
+	}
+
+	pool := sched.NewPersistent(*workers)
+	arena := mempool.Shared()
+	collector := metrics.NewCollector(pool.Workers())
+	run := jobq.ObservedSolver(pool, arena, collector)
+	if *chaosTenant != "" {
+		run = poisonTenant(run, *chaosTenant)
+	}
+	q := jobq.New(jobq.Config{
+		Capacity:     *capacity,
+		Runners:      *runners,
+		CacheEntries: *cacheSize,
+		Priorities:   priorities,
+		Run:          run,
+	})
+
+	s := &server{q: q, collector: collector, started: time.Now()}
+	httpServer := &http.Server{Addr: *addr, Handler: s.routes()}
+
+	go func() {
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+		<-sig
+		log.Printf("mgd: draining (budget %s)", *drainTimeout)
+		ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+		defer cancel()
+		if err := q.Drain(ctx); err != nil {
+			log.Printf("mgd: drain incomplete: %v", err)
+		}
+		shutdownCtx, cancel2 := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel2()
+		httpServer.Shutdown(shutdownCtx)
+	}()
+
+	log.Printf("mgd: serving on %s (workers=%d runners=%d capacity=%d cache=%d)",
+		*addr, pool.Workers(), *runners, *capacity, *cacheSize)
+	if err := httpServer.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Fatalf("mgd: %v", err)
+	}
+	q.Close()
+	log.Printf("mgd: drained %d jobs, bye", q.Stats().Completed)
+}
+
+// parsePriorities parses "tenant=level,tenant=level".
+func parsePriorities(s string) (map[string]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	out := make(map[string]int)
+	for _, part := range strings.Split(s, ",") {
+		name, level, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok {
+			return nil, fmt.Errorf("%q is not tenant=level", part)
+		}
+		n, err := strconv.Atoi(level)
+		if err != nil {
+			return nil, fmt.Errorf("%q: %v", part, err)
+		}
+		out[name] = n
+	}
+	return out, nil
+}
+
+// poisonTenant wraps a RunFunc with NaN fault injection for one tenant —
+// the chaos hook behind the fault-injection tests: the queue must turn
+// the poisoned norm into a failed job, never a cached success or a dead
+// process.
+func poisonTenant(run jobq.RunFunc, tenant string) jobq.RunFunc {
+	return func(ctx context.Context, req jobq.Request) (jobq.Result, error) {
+		res, err := run(ctx, req)
+		if err == nil && req.Tenant == tenant {
+			res.Rnm2 = math.NaN()
+		}
+		return res, err
+	}
+}
+
+// server is the HTTP front end over the queue.
+type server struct {
+	q         *jobq.Queue
+	collector *metrics.Collector
+	started   time.Time
+}
+
+func (s *server) routes() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/solve", s.handleSolve)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	mux.HandleFunc("GET /v1/results/{id}", s.handleResult)
+	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, "ok\n")
+	})
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
+		if s.q.Stats().Draining {
+			http.Error(w, "draining", http.StatusServiceUnavailable)
+			return
+		}
+		io.WriteString(w, "ready\n")
+	})
+	return mux
+}
+
+// writeJSON renders one response; jobq.Result marshals directly.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+type errorBody struct {
+	Error any `json:"error"`
+}
+
+func (s *server) handleSolve(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, jobq.MaxRequestBytes+1))
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
+		return
+	}
+	req, err := jobq.ParseRequest(body)
+	if err != nil {
+		var re *jobq.RequestError
+		if errors.As(err, &re) {
+			writeJSON(w, http.StatusBadRequest, errorBody{Error: re})
+			return
+		}
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
+		return
+	}
+
+	tk, err := s.q.Submit(req)
+	var full *jobq.FullError
+	switch {
+	case errors.As(err, &full):
+		w.Header().Set("Retry-After", strconv.Itoa(int(full.RetryAfter.Seconds())))
+		writeJSON(w, http.StatusTooManyRequests, errorBody{Error: full.Error()})
+		return
+	case errors.Is(err, jobq.ErrDraining):
+		writeJSON(w, http.StatusServiceUnavailable, errorBody{Error: err.Error()})
+		return
+	case err != nil:
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
+		return
+	}
+
+	if tk.Cached() {
+		writeJSON(w, http.StatusOK, tk.Result())
+		return
+	}
+	if !req.Wait {
+		writeJSON(w, http.StatusAccepted, tk.Result())
+		return
+	}
+	// Wait mode: hold the connection until the job is terminal. A client
+	// that disconnects releases its claim — the last waiter leaving
+	// cancels the solve at its next iteration boundary.
+	select {
+	case <-tk.Done():
+		writeJSON(w, http.StatusOK, tk.Result())
+	case <-r.Context().Done():
+		tk.Release()
+	}
+}
+
+func (s *server) handleJob(w http.ResponseWriter, r *http.Request) {
+	res, ok := s.q.Lookup(r.PathValue("id"))
+	if !ok {
+		writeJSON(w, http.StatusNotFound, errorBody{Error: "unknown job id"})
+		return
+	}
+	writeJSON(w, http.StatusOK, res)
+}
+
+func (s *server) handleResult(w http.ResponseWriter, r *http.Request) {
+	res, ok := s.q.Lookup(r.PathValue("id"))
+	if !ok {
+		writeJSON(w, http.StatusNotFound, errorBody{Error: "unknown job id"})
+		return
+	}
+	if !res.State.Terminal() {
+		writeJSON(w, http.StatusAccepted, res)
+		return
+	}
+	writeJSON(w, http.StatusOK, res)
+}
+
+func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, struct {
+		jobq.Stats
+		UptimeSeconds float64 `json:"uptimeSeconds"`
+	}{s.q.Stats(), time.Since(s.started).Seconds()})
+}
+
+func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.q.WritePrometheus(w)
+	s.collector.Snapshot().WritePrometheus(w, core.KernelCost)
+}

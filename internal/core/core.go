@@ -40,6 +40,7 @@ import (
 	"repro/internal/aplib"
 	"repro/internal/array"
 	"repro/internal/nas"
+	"repro/internal/nasrand"
 	"repro/internal/shape"
 	"repro/internal/stencil"
 	wl "repro/internal/withloop"
@@ -70,6 +71,13 @@ type Solver struct {
 	PostSmooth int
 	// Probe, when non-nil, receives per-operation timings (see nas.Probe).
 	Probe nas.Probe
+	// Cancel, when non-nil, is polled once at the top of every MGrid
+	// iteration; when it returns true the remaining iterations are
+	// abandoned and the current approximation is returned. Service
+	// callers (internal/jobq) poll a context here so a cancelled job
+	// releases its workers within one V-cycle. A nil Cancel costs one
+	// predictable nil check per iteration and never changes results.
+	Cancel func() bool
 }
 
 // New creates a solver with the paper's default smoother (classes S/W/A)
@@ -100,6 +108,9 @@ func (s *Solver) MGrid(v *array.Array, iter int) *array.Array {
 	e := s.Env
 	u := s.newGuess(v)
 	for i := 0; i < iter; i++ {
+		if s.Cancel != nil && s.Cancel() {
+			break
+		}
 		s.traceIter(i, v)
 		if s.foldable(u) && v.Shape()[0] > 2+2 && s.Gamma <= 1 && s.PostSmooth <= 1 {
 			// Folded iteration: the finest V-cycle level is inlined so
@@ -392,6 +403,10 @@ type Benchmark struct {
 	Class nas.Class
 	// Solver executes the algorithm; its smoother is set from Class.
 	Solver *Solver
+	// Seed selects the zran3 charge stream; 0 means the official NPB
+	// seed. Non-default seeds define alternative deterministic problems
+	// (no published verification constant applies to them).
+	Seed uint64
 
 	v, u *array.Array
 }
@@ -410,7 +425,11 @@ func (b *Benchmark) Reset() {
 	if b.v == nil {
 		b.v = e.NewArray(b.Class.ExtShape(b.Class.LT()))
 	}
-	nas.Zran3(b.v, b.Class.N)
+	seed := b.Seed
+	if seed == 0 {
+		seed = nasrand.DefaultSeed
+	}
+	nas.Zran3Seeded(b.v, b.Class.N, seed)
 	if b.u != nil {
 		e.Release(b.u)
 		b.u = nil

@@ -31,6 +31,7 @@ import (
 
 	"repro/internal/array"
 	"repro/internal/nas"
+	"repro/internal/nasrand"
 	"repro/internal/sched"
 	"repro/internal/stencil"
 )
@@ -79,6 +80,9 @@ type Solver struct {
 	Class nas.Class
 	// Probe, when non-nil, receives per-kernel timings.
 	Probe nas.Probe
+	// Seed selects the zran3 charge stream; 0 means the official NPB
+	// seed (the verification constants apply only to that one).
+	Seed uint64
 
 	lt   int
 	u, r []*array.Array
@@ -130,7 +134,11 @@ func (s *Solver) Reset() {
 		s.u[k].Zero()
 		s.r[k].Zero()
 	}
-	nas.Zran3(s.v, s.Class.N)
+	seed := s.Seed
+	if seed == 0 {
+		seed = nasrand.DefaultSeed
+	}
+	nas.Zran3Seeded(s.v, s.Class.N, seed)
 }
 
 func (s *Solver) probe(region string, level int, f func()) {

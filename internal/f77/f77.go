@@ -35,6 +35,7 @@ import (
 
 	"repro/internal/array"
 	"repro/internal/nas"
+	"repro/internal/nasrand"
 	"repro/internal/sched"
 	"repro/internal/stencil"
 )
@@ -74,6 +75,9 @@ type Solver struct {
 	// invocation — the measurement hook of the SMP cost model
 	// (internal/smp). Probing is only meaningful in Serial mode.
 	Probe nas.Probe
+	// Seed selects the zran3 charge stream; 0 means the official NPB
+	// seed (the verification constants apply only to that one).
+	Seed uint64
 
 	lt   int
 	u, r []*array.Array // levels 1..lt (index 0 unused)
@@ -135,7 +139,11 @@ func (s *Solver) Reset() {
 		s.u[k].Zero()
 		s.r[k].Zero()
 	}
-	nas.Zran3(s.v, s.Class.N)
+	seed := s.Seed
+	if seed == 0 {
+		seed = nasrand.DefaultSeed
+	}
+	nas.Zran3Seeded(s.v, s.Class.N, seed)
 }
 
 // probe measures one kernel invocation.

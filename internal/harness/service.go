@@ -1,0 +1,172 @@
+package harness
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"repro/internal/jobq"
+	"repro/internal/nas"
+	"repro/internal/perfstat"
+)
+
+// ServiceConfig configures the solver-as-a-service saturation benchmark.
+type ServiceConfig struct {
+	// Clients is the number of concurrent submitters (default 4).
+	Clients int
+	// Jobs is the number of submissions per client (default 8).
+	Jobs int
+	// RepeatPercent is how much of the traffic re-requests the base
+	// problem — the cache-hit share of a steady-state workload
+	// (default 75; the zero value selects the default, so all-unique
+	// traffic is RepeatPercent 1, not 0).
+	RepeatPercent int
+	// Runners is the queue's concurrent-solve limit (default 2).
+	Runners int
+	// Hits is the number of timed cache-hit probes (default 200).
+	Hits int
+}
+
+func (c ServiceConfig) withDefaults() ServiceConfig {
+	if c.Clients < 1 {
+		c.Clients = 4
+	}
+	if c.Jobs < 1 {
+		c.Jobs = 8
+	}
+	if c.RepeatPercent <= 0 || c.RepeatPercent > 100 {
+		c.RepeatPercent = 75
+	}
+	if c.Runners < 1 {
+		c.Runners = 2
+	}
+	if c.Hits < 1 {
+		c.Hits = 200
+	}
+	return c
+}
+
+// ServiceReport is the measured service profile of one class: the cold
+// solve, the cache-hit latency distribution, the hit/miss speedup and
+// the saturation throughput — the numbers behind EXPERIMENTS.md's
+// T-service table.
+type ServiceReport struct {
+	Class       nas.Class
+	ColdSeconds float64
+	HitP50      float64
+	HitP99      float64
+	// Speedup is ColdSeconds / HitP50 — how much cheaper repeat traffic
+	// is than re-solving.
+	Speedup    float64
+	JobsPerSec float64
+	Elapsed    float64
+	Stats      jobq.Stats
+}
+
+// RunService measures the solver-as-a-service profile of one class on an
+// in-process queue (no HTTP, so the numbers isolate the service core):
+// one cold solve, Hits timed cache hits, then a saturation phase of
+// Clients×Jobs mixed submissions at RepeatPercent repeat traffic.
+func RunService(w io.Writer, class nas.Class, cfg ServiceConfig) (ServiceReport, error) {
+	cfg = cfg.withDefaults()
+	rep := ServiceReport{Class: class}
+	q := jobq.New(jobq.Config{
+		Runners:  cfg.Runners,
+		Capacity: cfg.Clients*cfg.Jobs + cfg.Hits + 1,
+	})
+	defer q.Close()
+
+	base := jobq.Request{Class: string(class.Name)}
+	wait := func(tk *jobq.Ticket) (jobq.Result, error) {
+		<-tk.Done()
+		res := tk.Result()
+		if res.State != jobq.StateDone {
+			return res, fmt.Errorf("job %s ended %s: %s", res.ID, res.State, res.Error)
+		}
+		return res, nil
+	}
+
+	// Cold solve: the price of a miss.
+	start := time.Now()
+	tk, err := q.Submit(base)
+	if err != nil {
+		return rep, err
+	}
+	if _, err := wait(tk); err != nil {
+		return rep, err
+	}
+	rep.ColdSeconds = time.Since(start).Seconds()
+
+	// Cache hits: the price of repeat traffic.
+	hitLatency := make([]float64, cfg.Hits)
+	for i := range hitLatency {
+		start := time.Now()
+		tk, err := q.Submit(base)
+		if err != nil {
+			return rep, err
+		}
+		if !tk.Cached() {
+			return rep, fmt.Errorf("repeat submission %d missed the cache", i)
+		}
+		hitLatency[i] = time.Since(start).Seconds()
+	}
+	rep.HitP50 = perfstat.Quantile(hitLatency, 0.5)
+	rep.HitP99 = perfstat.Quantile(hitLatency, 0.99)
+	if rep.HitP50 > 0 {
+		rep.Speedup = rep.ColdSeconds / rep.HitP50
+	}
+
+	// Saturation: concurrent clients, mixed repeat/unique traffic. Unique
+	// problems vary the zran3 seed — a different deterministic problem,
+	// so a genuine cold solve, keyed apart in the cache.
+	var wg sync.WaitGroup
+	errs := make(chan error, cfg.Clients)
+	satStart := time.Now()
+	for c := 0; c < cfg.Clients; c++ {
+		c := c
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < cfg.Jobs; j++ {
+				req := base
+				if (c*cfg.Jobs+j*37)%100 >= cfg.RepeatPercent {
+					req.Seed = uint64(1_000_000_000 + c*cfg.Jobs + j)
+				}
+				tk, err := q.Submit(req)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if _, err := wait(tk); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	if err := <-errs; err != nil {
+		return rep, err
+	}
+	rep.Elapsed = time.Since(satStart).Seconds()
+	rep.JobsPerSec = float64(cfg.Clients*cfg.Jobs) / rep.Elapsed
+
+	if err := q.Drain(context.Background()); err != nil {
+		return rep, err
+	}
+	rep.Stats = q.Stats()
+
+	fmt.Fprintf(w, "--- Solver service: class %c (%d clients x %d jobs, %d%% repeat, %d runners) ---\n",
+		class.Name, cfg.Clients, cfg.Jobs, cfg.RepeatPercent, cfg.Runners)
+	fmt.Fprintf(w, "%-22s %12.3f ms\n", "cold solve", rep.ColdSeconds*1e3)
+	fmt.Fprintf(w, "%-22s %12.1f us   p99 %.1f us\n", "cache hit p50", rep.HitP50*1e6, rep.HitP99*1e6)
+	fmt.Fprintf(w, "%-22s %12.0fx\n", "hit speedup", rep.Speedup)
+	fmt.Fprintf(w, "%-22s %12.1f jobs/s over %.2f s\n", "saturation", rep.JobsPerSec, rep.Elapsed)
+	s := rep.Stats
+	fmt.Fprintf(w, "%-22s submitted=%d completed=%d cachehits=%d deduped=%d\n\n",
+		"queue", s.Submitted, s.Completed, s.CacheHits, s.Deduped)
+	return rep, nil
+}

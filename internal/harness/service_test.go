@@ -1,0 +1,32 @@
+package harness
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/nas"
+)
+
+func TestRunServiceClassS(t *testing.T) {
+	var buf bytes.Buffer
+	rep, err := RunService(&buf, nas.ClassS, ServiceConfig{Clients: 2, Jobs: 3, Hits: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.ColdSeconds <= 0 || rep.HitP50 <= 0 || rep.JobsPerSec <= 0 {
+		t.Fatalf("degenerate report: %+v", rep)
+	}
+	if rep.Speedup <= 1 {
+		t.Errorf("cache hit (%.3g s) not cheaper than cold solve (%.3g s)", rep.HitP50, rep.ColdSeconds)
+	}
+	if rep.Stats.Completed == 0 || rep.Stats.CacheHits == 0 {
+		t.Errorf("queue stats show no traffic: %+v", rep.Stats)
+	}
+	out := buf.String()
+	for _, want := range []string{"Solver service: class S", "cold solve", "cache hit p50", "saturation"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report output missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,92 @@
+package jobq
+
+import (
+	"container/list"
+	"sync"
+)
+
+// resultCache is the content-addressed result store: terminal job results
+// keyed by the request's truncated-SHA-256 ID, evicted least-recently-used.
+// Because every solver is deterministic, a successful entry is a complete
+// substitute for re-running the job — repeat traffic is answered from here
+// in microseconds instead of re-solving. Failed and cancelled results are
+// stored too (so status lookups outlive the job), but Submit treats them
+// as misses: a retry of a failed problem runs again.
+type resultCache struct {
+	mu   sync.Mutex
+	max  int
+	ll   *list.List // front = most recently used
+	byID map[string]*list.Element
+
+	hits, misses uint64
+}
+
+type cacheEntry struct {
+	id  string
+	res Result
+}
+
+func newResultCache(max int) *resultCache {
+	if max < 1 {
+		max = 1
+	}
+	return &resultCache{max: max, ll: list.New(), byID: make(map[string]*list.Element)}
+}
+
+// lookup returns the stored result without touching hit/miss counters —
+// status queries, not admission decisions.
+func (c *resultCache) lookup(id string) (Result, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.byID[id]
+	if !ok {
+		return Result{}, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry).res, true
+}
+
+// get is the admission-path lookup: only a successful (StateDone) entry
+// counts as a hit; anything else re-runs.
+func (c *resultCache) get(id string) (Result, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.byID[id]
+	if ok && el.Value.(*cacheEntry).res.State == StateDone {
+		c.ll.MoveToFront(el)
+		c.hits++
+		return el.Value.(*cacheEntry).res, true
+	}
+	c.misses++
+	return Result{}, false
+}
+
+// put stores (or replaces) the terminal result for id and evicts the
+// least-recently-used entries beyond the capacity.
+func (c *resultCache) put(id string, res Result) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.byID[id]; ok {
+		el.Value.(*cacheEntry).res = res
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.byID[id] = c.ll.PushFront(&cacheEntry{id: id, res: res})
+	for c.ll.Len() > c.max {
+		last := c.ll.Back()
+		c.ll.Remove(last)
+		delete(c.byID, last.Value.(*cacheEntry).id)
+	}
+}
+
+func (c *resultCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+func (c *resultCache) counters() (hits, misses uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}

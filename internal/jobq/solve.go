@@ -1,0 +1,115 @@
+package jobq
+
+import (
+	"context"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/cport"
+	"repro/internal/f77"
+	"repro/internal/health"
+	"repro/internal/mempool"
+	"repro/internal/metrics"
+	"repro/internal/sched"
+	wl "repro/internal/withloop"
+)
+
+// Solver returns the real RunFunc: each job solves over the shared
+// worker pool and draws its grids from a private scope of the shared
+// buffer arena. Nil arguments select the process-global runtimes.
+func Solver(pool *sched.Pool, mem *mempool.Pool) RunFunc {
+	return ObservedSolver(pool, mem, nil)
+}
+
+// ObservedSolver is Solver with a kernel-metrics collector attached to
+// every sac job's environment — one collector shared across all jobs
+// (its per-worker shards are mutex-protected), so the daemon's /metrics
+// endpoint aggregates kernel timings over the whole job stream.
+func ObservedSolver(pool *sched.Pool, mem *mempool.Pool, col *metrics.Collector) RunFunc {
+	if pool == nil {
+		pool = sched.Shared()
+	}
+	if mem == nil {
+		mem = mempool.Shared()
+	}
+	return func(ctx context.Context, req Request) (Result, error) {
+		return solve(ctx, req, pool, mem, col)
+	}
+}
+
+// solve executes one job. Determinism contract: for every (class, seed,
+// impl, iterations, variant) the result is bit-identical to a one-shot
+// solve of the same request — shared pools, scopes and observation hooks
+// never change the arithmetic (asserted by TestServiceSolveMatchesDirect
+// and the daemon integration test).
+func solve(ctx context.Context, req Request, pool *sched.Pool, mem *mempool.Pool, col *metrics.Collector) (Result, error) {
+	class := req.class()
+	res := Result{ID: req.ID(), Request: req}
+	cancelled := func() bool { return ctx.Err() != nil }
+	start := time.Now()
+
+	var rnm2, rnmu float64
+	switch req.Impl {
+	case "sac":
+		env := wl.Service(pool, mem)
+		env.Variant = req.Variant
+		env.AttachMetrics(col)
+		mon := health.New(health.Config{})
+		env.Health = mon
+		b := core.NewBenchmark(class, env)
+		b.Seed = req.Seed
+		b.Solver.Cancel = cancelled
+		rnm2, rnmu = b.Run()
+		scope := env.Pool.Stats()
+		res.MemAllocs, res.MemReuses = scope.Allocs, scope.Reuses
+		res.Health = mon.Report(metrics.Snapshot{}).Verdict
+		// Return the job's grids to the shared arena before the scope is
+		// discarded — the next job reuses the buffers instead of the heap.
+		env.Release(b.U())
+		env.Release(b.V())
+
+	case "f77":
+		var s *f77.Solver
+		if pool != nil && pool.Workers() > 1 {
+			s = f77.NewParallel(class, pool, f77.FullPar)
+		} else {
+			s = f77.New(class)
+		}
+		s.Seed = req.Seed
+		s.Reset()
+		s.EvalResid()
+		for it := 0; it < class.Iter && !cancelled(); it++ {
+			s.MG3P()
+			s.EvalResid()
+		}
+		rnm2, rnmu = s.Norms()
+
+	case "c":
+		var s *cport.Solver
+		if pool != nil && pool.Workers() > 1 {
+			s = cport.NewParallel(class, pool)
+		} else {
+			s = cport.New(class)
+		}
+		s.Seed = req.Seed
+		s.Reset()
+		s.EvalResid()
+		for it := 0; it < class.Iter && !cancelled(); it++ {
+			s.MG3P()
+			s.EvalResid()
+		}
+		rnm2, rnmu = s.Norms()
+	}
+
+	if err := ctx.Err(); err != nil {
+		return res, err
+	}
+	res.Rnm2, res.Rnmu = rnm2, rnmu
+	res.SolveSeconds = time.Since(start).Seconds()
+	if req.official() {
+		if verified, ok := class.Verify(rnm2); ok {
+			res.Verified = &verified
+		}
+	}
+	return res, nil
+}

@@ -48,6 +48,11 @@ func (s Stats) String() string {
 // not usable; call New. A nil *Pool behaves like a disabled pool (every Get
 // allocates, every Put is dropped), so callers can thread an optional pool
 // without nil checks.
+//
+// A Pool is safe for concurrent use. A process-global pool shared by many
+// concurrent solves (see Shared) hands each solve a Scope: a view whose
+// buffers come from and return to the shared free lists but whose Stats
+// count only that solve's traffic — per-job accounting over one arena.
 type Pool struct {
 	mu         sync.Mutex
 	free       map[int][][]float64
@@ -59,6 +64,43 @@ type Pool struct {
 	// reference-counting runtime must never make. Keys are the address of
 	// the first element.
 	paranoid map[*float64]bool
+	// root is non-nil on scopes: the arena whose free lists, mutex and
+	// configuration this view delegates to. The scope's own stats field is
+	// then guarded by root.mu (scopes hold no lock of their own).
+	root *Pool
+}
+
+// arena resolves the pool that owns the free lists: the pool itself, or
+// the root for scopes.
+func (p *Pool) arena() *Pool {
+	if p.root != nil {
+		return p.root
+	}
+	return p
+}
+
+// Scope returns a per-job view of the pool: Get and Put operate on the
+// parent's free lists (and count in the parent's Stats as usual), but the
+// scope's own Stats count only the traffic that went through this view.
+// Scopes are cheap; create one per job. Scope of a scope shares the same
+// root arena.
+func (p *Pool) Scope() *Pool {
+	return &Pool{root: p.arena()}
+}
+
+// The process-global arena, created on first use.
+var (
+	sharedOnce sync.Once
+	sharedPool *Pool
+)
+
+// Shared returns the process-global recycling arena, created on first
+// use. Concurrent solves of a resident daemon draw their grids from it
+// through per-job Scopes, so same-size buffers released by one solve
+// satisfy the next solve's requests.
+func Shared() *Pool {
+	sharedOnce.Do(func() { sharedPool = New(true) })
+	return sharedPool
 }
 
 // DefaultMaxPerSize bounds the number of retained buffers per size class.
@@ -82,20 +124,22 @@ func New(enabled bool) *Pool {
 // SAC's reference-counting correctness argument corresponds exactly to
 // this discipline; the MG solvers run their test suites with it on.
 func (p *Pool) SetParanoid(on bool) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
+	a := p.arena()
+	a.mu.Lock()
+	defer a.mu.Unlock()
 	if on {
-		p.paranoid = make(map[*float64]bool)
+		a.paranoid = make(map[*float64]bool)
 	} else {
-		p.paranoid = nil
+		a.paranoid = nil
 	}
 }
 
 // SetMaxPerSize changes the per-size-class retention bound.
 func (p *Pool) SetMaxPerSize(n int) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	p.maxPerSize = n
+	a := p.arena()
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.maxPerSize = n
 }
 
 // Enabled reports whether the pool actually recycles buffers.
@@ -103,9 +147,10 @@ func (p *Pool) Enabled() bool {
 	if p == nil {
 		return false
 	}
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return p.enabled
+	a := p.arena()
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.enabled
 }
 
 // Get returns a zeroed buffer of exactly n float64s.
@@ -121,21 +166,29 @@ func (p *Pool) GetDirty(n int) []float64 {
 	if p == nil {
 		return make([]float64, n)
 	}
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	if p.enabled {
-		if list := p.free[n]; len(list) > 0 {
+	a := p.arena()
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.enabled {
+		if list := a.free[n]; len(list) > 0 {
 			buf := list[len(list)-1]
-			p.free[n] = list[:len(list)-1]
-			p.stats.Reuses++
-			p.track(buf)
+			a.free[n] = list[:len(list)-1]
+			a.stats.Reuses++
+			if p != a {
+				p.stats.Reuses++
+			}
+			a.track(buf)
 			return buf
 		}
 	}
-	p.stats.Allocs++
-	p.stats.BytesAllocated += uint64(n) * 8
+	a.stats.Allocs++
+	a.stats.BytesAllocated += uint64(n) * 8
+	if p != a {
+		p.stats.Allocs++
+		p.stats.BytesAllocated += uint64(n) * 8
+	}
 	buf := make([]float64, n)
-	p.track(buf)
+	a.track(buf)
 	return buf
 }
 
@@ -152,49 +205,66 @@ func (p *Pool) Put(buf []float64) {
 	if p == nil || len(buf) == 0 {
 		return
 	}
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	if p.paranoid != nil {
+	a := p.arena()
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.paranoid != nil {
 		key := &buf[0]
-		if !p.paranoid[key] {
+		if !a.paranoid[key] {
 			panic("mempool: Put of a buffer that is not live (double release or foreign buffer)")
 		}
-		delete(p.paranoid, key)
+		delete(a.paranoid, key)
 	}
-	p.stats.Puts++
-	if !p.enabled {
-		p.stats.Discards++
+	a.stats.Puts++
+	if p != a {
+		p.stats.Puts++
+	}
+	discard := func() {
+		a.stats.Discards++
+		if p != a {
+			p.stats.Discards++
+		}
+	}
+	if !a.enabled {
+		discard()
 		return
 	}
 	n := len(buf)
-	if len(p.free[n]) >= p.maxPerSize {
-		p.stats.Discards++
+	if len(a.free[n]) >= a.maxPerSize {
+		discard()
 		return
 	}
-	p.free[n] = append(p.free[n], buf[:n])
+	a.free[n] = append(a.free[n], buf[:n])
 }
 
-// Stats returns a snapshot of the counters.
+// Stats returns a snapshot of the counters: the whole arena's for a root
+// pool, this view's traffic only for a Scope.
 func (p *Pool) Stats() Stats {
 	if p == nil {
 		return Stats{}
 	}
-	p.mu.Lock()
-	defer p.mu.Unlock()
+	a := p.arena()
+	a.mu.Lock()
+	defer a.mu.Unlock()
 	return p.stats
 }
 
-// Reset drops all retained buffers and zeroes the counters.
+// Reset drops all retained buffers and zeroes the counters. On a Scope it
+// zeroes only the scope's counters — the shared arena is untouched.
 func (p *Pool) Reset() {
 	if p == nil {
 		return
 	}
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	p.free = make(map[int][][]float64)
+	a := p.arena()
+	a.mu.Lock()
+	defer a.mu.Unlock()
 	p.stats = Stats{}
-	if p.paranoid != nil {
-		p.paranoid = make(map[*float64]bool)
+	if p != a {
+		return
+	}
+	a.free = make(map[int][][]float64)
+	if a.paranoid != nil {
+		a.paranoid = make(map[*float64]bool)
 	}
 }
 
@@ -205,9 +275,10 @@ func (p *Pool) Live() int {
 	if p == nil {
 		return 0
 	}
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return len(p.paranoid)
+	a := p.arena()
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return len(a.paranoid)
 }
 
 // Retained returns the number of buffers currently held on free lists,
@@ -216,10 +287,11 @@ func (p *Pool) Retained() int {
 	if p == nil {
 		return 0
 	}
-	p.mu.Lock()
-	defer p.mu.Unlock()
+	a := p.arena()
+	a.mu.Lock()
+	defer a.mu.Unlock()
 	total := 0
-	for _, list := range p.free {
+	for _, list := range a.free {
 		total += len(list)
 	}
 	return total

@@ -257,3 +257,119 @@ func TestParanoidOffByDefault(t *testing.T) {
 		t.Fatal("Live non-zero without paranoid mode")
 	}
 }
+
+// A Scope draws from and returns to the parent's free lists — a buffer
+// released by one scope satisfies another scope's request — while its
+// own Stats count only its traffic.
+func TestScopeSharesArenaWithOwnStats(t *testing.T) {
+	arena := New(true)
+	a := arena.Scope()
+	b := arena.Scope()
+
+	buf := a.GetDirty(64)
+	buf[0] = 42
+	a.Put(buf)
+	got := b.GetDirty(64)
+	if &got[0] != &buf[0] {
+		t.Fatal("scope b did not reuse the buffer scope a released")
+	}
+
+	as, bs, rs := a.Stats(), b.Stats(), arena.Stats()
+	if as.Allocs != 1 || as.Puts != 1 || as.Reuses != 0 {
+		t.Fatalf("scope a stats = %v", as)
+	}
+	if bs.Allocs != 0 || bs.Reuses != 1 {
+		t.Fatalf("scope b stats = %v", bs)
+	}
+	if rs.Allocs != 1 || rs.Reuses != 1 || rs.Puts != 1 {
+		t.Fatalf("arena stats = %v", rs)
+	}
+}
+
+// Scope of a scope shares the same root arena (no chains).
+func TestScopeOfScopeSharesRoot(t *testing.T) {
+	arena := New(true)
+	s := arena.Scope().Scope()
+	buf := s.GetDirty(8)
+	s.Put(buf)
+	if arena.Retained() != 1 {
+		t.Fatalf("arena retained %d buffers, want 1", arena.Retained())
+	}
+}
+
+// Reset on a scope clears only the scope's counters, never the shared
+// free lists another job may be drawing from.
+func TestScopeResetLeavesArena(t *testing.T) {
+	arena := New(true)
+	s := arena.Scope()
+	s.Put(s.GetDirty(16))
+	s.Reset()
+	if st := s.Stats(); st != (Stats{}) {
+		t.Fatalf("scope stats after Reset = %v", st)
+	}
+	if arena.Retained() != 1 {
+		t.Fatal("scope Reset dropped the arena's free list")
+	}
+}
+
+// Paranoid release-discipline checking spans scopes: the arena tracks
+// liveness, so a double Put through any view is caught.
+func TestScopeParanoidSharesTracking(t *testing.T) {
+	arena := New(true)
+	arena.SetParanoid(true)
+	s := arena.Scope()
+	buf := s.GetDirty(8)
+	s.Put(buf)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double Put through a scope did not panic")
+		}
+	}()
+	arena.Put(buf)
+}
+
+// Concurrent scopes over one arena must be race-free and must account
+// exactly: the sum of scope counters equals the arena's.
+func TestConcurrentScopes(t *testing.T) {
+	arena := New(true)
+	const scopes, rounds = 8, 200
+	var wg sync.WaitGroup
+	views := make([]*Pool, scopes)
+	for i := range views {
+		views[i] = arena.Scope()
+		wg.Add(1)
+		go func(s *Pool) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				buf := s.GetDirty(32 + (r%4)*32)
+				s.Put(buf)
+			}
+		}(views[i])
+	}
+	wg.Wait()
+	var sum Stats
+	for _, s := range views {
+		st := s.Stats()
+		sum.Allocs += st.Allocs
+		sum.Reuses += st.Reuses
+		sum.Puts += st.Puts
+		sum.Discards += st.Discards
+		sum.BytesAllocated += st.BytesAllocated
+	}
+	if got := arena.Stats(); got != sum {
+		t.Fatalf("arena stats %v != sum of scope stats %v", got, sum)
+	}
+	if got := sum.Allocs + sum.Reuses; got != scopes*rounds {
+		t.Fatalf("gets = %d, want %d", got, scopes*rounds)
+	}
+}
+
+// Shared returns one process-global arena.
+func TestSharedSingleton(t *testing.T) {
+	if Shared() != Shared() {
+		t.Fatal("Shared returned two arenas")
+	}
+	if !Shared().Enabled() {
+		t.Fatal("shared arena is not recycling")
+	}
+}

@@ -115,6 +115,18 @@ func Median(xs []float64) float64 {
 	return quantileSorted(s, 0.5)
 }
 
+// Quantile returns the interpolated q-quantile (0 ≤ q ≤ 1) of xs —
+// p50/p99 latency reporting for the saturation benchmarks (cmd/mgload).
+// It returns 0 for an empty slice and does not modify xs.
+func Quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	return quantileSorted(s, q)
+}
+
 // quantileSorted interpolates the q-quantile of an ascending slice.
 func quantileSorted(s []float64, q float64) float64 {
 	n := len(s)

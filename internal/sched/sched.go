@@ -118,11 +118,29 @@ type ForOptions struct {
 // Pool is a set of persistent worker goroutines. A Pool with one worker
 // executes everything inline on the caller; that is the natural "compiled
 // for sequential execution" mode of the paper's Fig. 11.
+//
+// A Pool is safe for concurrent use: several goroutines may execute For
+// and Reduce on the same pool at once, in which case their chunks
+// multiplex over the one worker set (the service mode of cmd/mgd, where
+// many in-flight solves share one process-global pool). The determinism
+// contract is unaffected — each call's partials combine in block order
+// regardless of which physical worker ran them. SetMetrics and SetTracer
+// remain single-owner configuration: call them before the pool executes
+// loops, and never on a shared pool that other solves are using.
 type Pool struct {
 	nw     int
 	work   chan func(worker int)
 	closed atomic.Bool
-	wg     sync.WaitGroup
+	// persistent marks process-global pools (Sequential, Shared): Close
+	// becomes a no-op so library code can unconditionally release its
+	// runtime without tearing down a pool other solves still use.
+	persistent bool
+	// activeMu guards the dispatch channel against Close: For/Reduce hold
+	// a read lock while fanning out, Close takes the write lock before
+	// closing the channel, so a concurrent For either completes first or
+	// observes closed and runs inline.
+	activeMu sync.RWMutex
+	wg       sync.WaitGroup
 	// metrics, when non-nil, receives per-worker busy time for every
 	// parallel fan-out (see SetMetrics). nil — the default — costs one
 	// predictable nil check per fan-out.
@@ -177,21 +195,76 @@ func (p *Pool) worker(id int) {
 	}
 }
 
+// NewPersistent creates a pool like NewPool and marks it persistent:
+// Close is a no-op, so the pool can be handed to library code that
+// releases its runtime unconditionally. Use for process-global pools
+// that live until exit.
+func NewPersistent(workers int) *Pool {
+	p := NewPool(workers)
+	p.persistent = true
+	return p
+}
+
 // Workers returns the pool's worker count.
 func (p *Pool) Workers() int { return p.nw }
 
+// Persistent reports whether the pool is process-global (Sequential,
+// Shared, or built with NewPersistent): such pools ignore Close and must
+// not have per-run observers attached.
+func (p *Pool) Persistent() bool { return p.persistent }
+
 // Close shuts the worker goroutines down. For on a closed pool runs
-// sequentially. Close is idempotent.
+// sequentially. Close is idempotent, a no-op on persistent pools, and
+// safe against concurrent For/Reduce: in-flight fan-outs complete before
+// the dispatch channel closes.
 func (p *Pool) Close() {
+	if p.persistent {
+		return
+	}
 	if p.closed.CompareAndSwap(false, true) && p.work != nil {
+		p.activeMu.Lock() // wait for in-flight fan-outs to drain
 		close(p.work)
+		p.activeMu.Unlock()
 		p.wg.Wait()
 	}
 }
 
+// enter attempts to begin a parallel fan-out: it takes the dispatch read
+// lock and re-checks closed under it. On true the caller must call
+// p.exit() when the fan-out is done; on false the caller must run inline.
+func (p *Pool) enter() bool {
+	if p.work == nil {
+		return false
+	}
+	p.activeMu.RLock()
+	if p.closed.Load() {
+		p.activeMu.RUnlock()
+		return false
+	}
+	return true
+}
+
+func (p *Pool) exit() { p.activeMu.RUnlock() }
+
 // Sequential is a process-wide single-worker pool for callers that want the
 // sequential semantics without creating a pool.
-var Sequential = NewPool(1)
+var Sequential = NewPersistent(1)
+
+// The process-global multi-worker pool, created on first use.
+var (
+	sharedOnce sync.Once
+	sharedPool *Pool
+)
+
+// Shared returns the process-global multi-worker pool, sized
+// runtime.GOMAXPROCS(0) and created on first use. It is persistent —
+// Close is a no-op — and is the worker set that concurrent solves of a
+// resident daemon (cmd/mgd) multiplex over. Callers must not attach
+// metrics or tracers to it.
+func Shared() *Pool {
+	sharedOnce.Do(func() { sharedPool = NewPersistent(0) })
+	return sharedPool
+}
 
 // For executes body over the half-open range [0, n), partitioned across the
 // pool's workers according to opt. body(lo, hi, worker) processes the
@@ -202,10 +275,11 @@ func (p *Pool) For(n int, opt ForOptions, body func(lo, hi, worker int)) {
 	if n <= 0 {
 		return
 	}
-	if p.nw == 1 || p.closed.Load() || n <= opt.SeqThreshold {
+	if p.nw == 1 || n <= opt.SeqThreshold || !p.enter() {
 		body(0, n, 0)
 		return
 	}
+	defer p.exit()
 	switch opt.Policy {
 	case StaticBlock:
 		p.forStaticBlock(n, body)
@@ -372,7 +446,7 @@ func (p *Pool) Reduce(n int, opt ForOptions, neutral float64,
 		hi := (b + 1) * n / nblocks
 		parts[b] = partial(lo, hi)
 	}
-	if p.nw == 1 || p.closed.Load() || n <= opt.SeqThreshold {
+	if p.nw == 1 || n <= opt.SeqThreshold || !p.enter() {
 		for b := 0; b < nblocks; b++ {
 			fill(b)
 		}
@@ -387,6 +461,7 @@ func (p *Pool) Reduce(n int, opt ForOptions, neutral float64,
 				fill(b)
 			}
 		})
+		p.exit()
 	}
 	acc := neutral
 	for _, v := range parts {

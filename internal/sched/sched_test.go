@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"math"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"testing/quick"
@@ -393,5 +394,97 @@ func TestWspanEmission(t *testing.T) {
 	}
 	if len(seen) != 2 || seen[0] != 1 || seen[1] != 1 {
 		t.Fatalf("wspan events per worker = %v, want one for each of 2 workers", seen)
+	}
+}
+
+// A shared pool must multiplex concurrent For calls from many goroutines
+// — the service mode of cmd/mgd, where every in-flight solve schedules
+// onto one worker set. Each caller's range must still be covered exactly
+// once.
+func TestConcurrentForOnSharedPool(t *testing.T) {
+	p := NewPersistent(4)
+	const (
+		callers = 8
+		n       = 1 << 14
+	)
+	var wg sync.WaitGroup
+	sums := make([]int64, callers)
+	for c := 0; c < callers; c++ {
+		c := c
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for rep := 0; rep < 4; rep++ {
+				var sum atomic.Int64
+				p.For(n, ForOptions{Policy: Policy(rep % 4)}, func(lo, hi, _ int) {
+					s := int64(0)
+					for i := lo; i < hi; i++ {
+						s += int64(i)
+					}
+					sum.Add(s)
+				})
+				sums[c] = sum.Load()
+			}
+		}()
+	}
+	wg.Wait()
+	want := int64(n) * int64(n-1) / 2
+	for c, got := range sums {
+		if got != want {
+			t.Fatalf("caller %d: sum = %d, want %d", c, got, want)
+		}
+	}
+}
+
+// Close on a persistent pool is a no-op: the pool keeps executing in
+// parallel afterwards. Sequential and Shared are persistent.
+func TestPersistentPoolIgnoresClose(t *testing.T) {
+	p := NewPersistent(2)
+	p.Close()
+	if p.closed.Load() {
+		t.Fatal("Close marked a persistent pool closed")
+	}
+	hit := map[int]bool{}
+	var mu sync.Mutex
+	p.For(1<<12, ForOptions{}, func(lo, hi, worker int) {
+		mu.Lock()
+		hit[worker] = true
+		mu.Unlock()
+	})
+	if len(hit) != 2 {
+		t.Fatalf("workers used after Close = %v, want both", hit)
+	}
+	if !Sequential.Persistent() {
+		t.Fatal("Sequential is not persistent")
+	}
+	if s := Shared(); !s.Persistent() || s != Shared() {
+		t.Fatal("Shared must return one persistent pool")
+	}
+}
+
+// Close racing concurrent For calls must neither panic (send on closed
+// channel) nor lose range coverage: an in-flight fan-out completes, a
+// late one runs inline.
+func TestCloseRacesConcurrentFor(t *testing.T) {
+	for rep := 0; rep < 20; rep++ {
+		p := NewPool(4)
+		var wg sync.WaitGroup
+		for c := 0; c < 4; c++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				var sum atomic.Int64
+				p.For(1<<10, ForOptions{}, func(lo, hi, _ int) {
+					for i := lo; i < hi; i++ {
+						sum.Add(int64(i))
+					}
+				})
+				if want := int64(1<<10) * (1<<10 - 1) / 2; sum.Load() != want {
+					panic("range not covered exactly once")
+				}
+			}()
+		}
+		p.Close()
+		wg.Wait()
 	}
 }

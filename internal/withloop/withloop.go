@@ -151,10 +151,33 @@ func Parallel(workers int) *Env {
 	}
 }
 
-// Close releases the environment's worker pool (if it is not the shared
-// sequential pool).
+// Service returns an environment for one solve job of a resident
+// process: it schedules onto the given shared pool and draws arrays from
+// a fresh per-job Scope of the given arena (nil arguments select the
+// process-global sched.Shared and mempool.Shared), with full
+// optimization. The environment's Close is safe — persistent pools
+// ignore it — and the scope's Stats are the job's memory accounting.
+func Service(pool *sched.Pool, arena *mempool.Pool) *Env {
+	if pool == nil {
+		pool = sched.Shared()
+	}
+	if arena == nil {
+		arena = mempool.Shared()
+	}
+	return &Env{
+		Sched:        pool,
+		Pool:         arena.Scope(),
+		Opt:          O3,
+		SeqThreshold: 4096,
+	}
+}
+
+// Close releases the environment's worker pool. Persistent pools — the
+// shared sequential pool, the process-global service pool — ignore
+// Close, so environments over shared runtimes are safe to close
+// unconditionally.
 func (e *Env) Close() {
-	if e.Sched != nil && e.Sched != sched.Sequential {
+	if e.Sched != nil {
 		e.Sched.Close()
 	}
 }
@@ -164,22 +187,24 @@ func (e *Env) Observing() bool { return e.Metrics != nil || e.Trace != nil || e.
 
 // AttachMetrics installs a collector on the environment and, when the
 // environment owns its pool, on the pool as well (per-worker busy time).
-// The shared Sequential pool is never mutated — other environments in the
-// process may be using it. AttachMetrics(nil) detaches both.
+// Persistent pools (Sequential, the shared service pool) are never
+// mutated — other environments in the process may be using them; their
+// environments still collect kernel metrics, just without pool busy
+// accounting. AttachMetrics(nil) detaches both.
 func (e *Env) AttachMetrics(c *metrics.Collector) {
 	e.Metrics = c
-	if e.Sched != nil && e.Sched != sched.Sequential {
+	if e.Sched != nil && !e.Sched.Persistent() {
 		e.Sched.SetMetrics(c)
 	}
 }
 
 // AttachTrace installs a tracer on the environment and, when the
 // environment owns its pool, on the pool as well (per-worker "wspan" busy
-// slices for the Perfetto worker tracks). Like AttachMetrics, the shared
-// Sequential pool is never mutated. AttachTrace(nil) detaches both.
+// slices for the Perfetto worker tracks). Like AttachMetrics, persistent
+// pools are never mutated. AttachTrace(nil) detaches both.
 func (e *Env) AttachTrace(t *metrics.Tracer) {
 	e.Trace = t
-	if e.Sched != nil && e.Sched != sched.Sequential {
+	if e.Sched != nil && !e.Sched.Persistent() {
 		e.Sched.SetTracer(t)
 	}
 }
