@@ -354,6 +354,30 @@ func BenchmarkMetricsEnabled(b *testing.B) {
 	}
 }
 
+// BenchmarkTraceJobView runs the class-S solve emitting through a
+// ForJob tracer view (the daemon's per-request configuration: every
+// kernel span trace/job-tagged) writing to io.Discard. Compare against
+// BenchmarkMetricsEnabled to bound the cost of the tags themselves, and
+// against BenchmarkMetricsDisabled for the full tracing overhead; the
+// disabled view is asserted allocation-free in internal/metrics
+// (TestMetricsDisabledZeroAlloc covers the nil ForJob path).
+func BenchmarkTraceJobView(b *testing.B) {
+	env := wl.Default()
+	defer env.Close()
+	tr := metrics.NewTracer(io.Discard)
+	env.Trace = tr.ForJob("00112233445566778899aabbccddeeff", "deadbeef00000001")
+	bench := core.NewBenchmark(nas.ClassS, env)
+	bench.Reset()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bench.Solve()
+	}
+	b.StopTimer()
+	if err := tr.Close(); err != nil {
+		b.Fatal(err)
+	}
+}
+
 // BenchmarkHealthEnabled runs the class-S solve with only the
 // convergence-health monitor attached: the residual fold, the strided
 // NaN guards and the per-iteration bookkeeping. Compare against

@@ -15,16 +15,22 @@ import (
 	"repro/internal/jobq"
 	"repro/internal/metrics"
 	"repro/internal/nas"
+	"repro/internal/obs"
 	wl "repro/internal/withloop"
 )
 
 // newTestDaemon builds the full HTTP front end over a queue with the
-// given config, listening on an ephemeral port.
+// given config, listening on an ephemeral port. The observer is always
+// wired (logs discarded) so tests exercise the real observability path.
 func newTestDaemon(t *testing.T, cfg jobq.Config) (*httptest.Server, *jobq.Queue) {
 	t.Helper()
+	if cfg.Obs == nil {
+		cfg.Obs = obs.New(obs.Config{})
+	}
 	q := jobq.New(cfg)
-	s := &server{q: q, collector: metrics.NewCollector(1), started: time.Now()}
+	s := &server{q: q, collector: metrics.NewCollector(1), obs: cfg.Obs, started: time.Now()}
 	ts := httptest.NewServer(s.routes())
+	s.addr = ts.Listener.Addr().String()
 	t.Cleanup(func() {
 		ts.Close()
 		q.Close()

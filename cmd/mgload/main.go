@@ -18,7 +18,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"math/rand"
 	"net/http"
 	"os"
@@ -27,29 +27,38 @@ import (
 	"time"
 
 	"repro/internal/jobq"
+	"repro/internal/obs"
 	"repro/internal/perfdb"
 	"repro/internal/perfstat"
 )
 
 func main() {
 	var (
-		url      = flag.String("url", "http://localhost:8750", "mgd base URL")
-		clients  = flag.Int("clients", 8, "concurrent submitters")
-		duration = flag.Duration("duration", 10*time.Second, "load duration")
-		class    = flag.String("class", "S", "NPB size class to submit")
-		impl     = flag.String("impl", "sac", "implementation: sac, f77 or c")
-		repeat   = flag.Int("repeat", 75, "percent of submissions that repeat the base problem (cache hits)")
-		seed     = flag.Int64("seed", 1, "RNG seed for the traffic mix")
-		jsonOut  = flag.String("json", "", "write the report as JSON to this file")
-		snapOut  = flag.String("snapshot", "", "write a perfdb snapshot of the latency samples to this file")
+		url       = flag.String("url", "http://localhost:8750", "mgd base URL")
+		clients   = flag.Int("clients", 8, "concurrent submitters")
+		duration  = flag.Duration("duration", 10*time.Second, "load duration")
+		class     = flag.String("class", "S", "NPB size class to submit")
+		impl      = flag.String("impl", "sac", "implementation: sac, f77 or c")
+		repeat    = flag.Int("repeat", 75, "percent of submissions that repeat the base problem (cache hits)")
+		seed      = flag.Int64("seed", 1, "RNG seed for the traffic mix")
+		jsonOut   = flag.String("json", "", "write the report as JSON to this file")
+		snapOut   = flag.String("snapshot", "", "write a perfdb snapshot of the latency samples to this file")
+		logFormat = flag.String("log-format", "text", "structured log format: text or json")
 	)
 	flag.Parse()
+	logger, err := obs.NewLogger(os.Stderr, *logFormat, slog.LevelInfo)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mgload:", err)
+		os.Exit(2)
+	}
 	if *repeat < 0 || *repeat > 100 {
-		log.Fatal("mgload: -repeat must be 0..100")
+		logger.Error("-repeat must be 0..100", "repeat", *repeat)
+		os.Exit(2)
 	}
 
 	if err := waitReady(*url, 10*time.Second); err != nil {
-		log.Fatalf("mgload: %v", err)
+		logger.Error("daemon not ready", "url", *url, "error", err)
+		os.Exit(1)
 	}
 
 	rep, hitSamples, missSamples := run(*url, *clients, *duration, *class, *impl, *repeat, *seed)
@@ -58,18 +67,22 @@ func main() {
 	if *jsonOut != "" {
 		blob, err := json.MarshalIndent(rep, "", "  ")
 		if err != nil {
-			log.Fatalf("mgload: %v", err)
+			logger.Error("marshal report", "error", err)
+			os.Exit(1)
 		}
 		if err := os.WriteFile(*jsonOut, append(blob, '\n'), 0o644); err != nil {
-			log.Fatalf("mgload: %v", err)
+			logger.Error("write report", "path", *jsonOut, "error", err)
+			os.Exit(1)
 		}
 	}
 	if *snapOut != "" {
 		if err := saveSnapshot(*snapOut, *class, *clients, hitSamples, missSamples); err != nil {
-			log.Fatalf("mgload: %v", err)
+			logger.Error("write snapshot", "path", *snapOut, "error", err)
+			os.Exit(1)
 		}
 	}
 	if rep.Failed > 0 {
+		logger.Warn("load run saw failed submissions", "failed", rep.Failed)
 		os.Exit(1)
 	}
 }
@@ -108,6 +121,7 @@ type report struct {
 	Hits           int     `json:"hits"`
 	Misses         int     `json:"misses"`
 	Rejected       int     `json:"rejected"`
+	Retries        int     `json:"retries"`
 	Failed         int     `json:"failed"`
 	HitP50Micros   float64 `json:"hitP50Micros"`
 	HitP99Micros   float64 `json:"hitP99Micros"`
@@ -120,8 +134,8 @@ type report struct {
 func (r report) write(w *os.File) {
 	fmt.Fprintf(w, "--- mgload: %s class %s/%s, %d clients, %d%% repeat, %.1f s ---\n",
 		r.URL, r.Class, r.Impl, r.Clients, r.RepeatPercent, r.Seconds)
-	fmt.Fprintf(w, "%-18s %10.1f jobs/s  (%d jobs: %d hits, %d misses, %d rejected, %d failed)\n",
-		"throughput", r.JobsPerSec, r.Jobs, r.Hits, r.Misses, r.Rejected, r.Failed)
+	fmt.Fprintf(w, "%-18s %10.1f jobs/s  (%d jobs: %d hits, %d misses, %d rejected/%d retried, %d failed)\n",
+		"throughput", r.JobsPerSec, r.Jobs, r.Hits, r.Misses, r.Rejected, r.Retries, r.Failed)
 	fmt.Fprintf(w, "%-18s %10.1f us   p99 %10.1f us\n", "cache-hit latency", r.HitP50Micros, r.HitP99Micros)
 	fmt.Fprintf(w, "%-18s %10.2f ms   p99 %10.2f ms\n", "cold-solve latency", r.MissP50Millis, r.MissP99Millis)
 	fmt.Fprintf(w, "%-18s %10.0fx  (cold p50 / hit p50)\n", "hit speedup", r.HitSpeedupP50)
@@ -138,6 +152,7 @@ func run(url string, clients int, duration time.Duration, class, impl string, re
 		mu       sync.Mutex
 		samples  []sample
 		rejected int
+		retries  int
 		failed   int
 		retryMax int
 	)
@@ -179,12 +194,16 @@ func run(url string, clients int, duration time.Duration, class, impl string, re
 				switch {
 				case resp.StatusCode == http.StatusTooManyRequests:
 					rejected++
+					retries++
 					if n, err := strconv.Atoi(retry); err == nil && n > retryMax {
 						retryMax = n
 					}
 					mu.Unlock()
 					// Honor the daemon's backoff, capped so a long estimate
-					// does not idle the generator past the deadline.
+					// does not idle the generator past the deadline, and
+					// jittered (equal jitter: half fixed, half random) so the
+					// rejected clients do not re-submit in lockstep and hammer
+					// the queue with a synchronized retry wave.
 					d := time.Second
 					if n, err := strconv.Atoi(retry); err == nil && n >= 1 {
 						d = time.Duration(n) * time.Second
@@ -192,6 +211,7 @@ func run(url string, clients int, duration time.Duration, class, impl string, re
 					if d > 2*time.Second {
 						d = 2 * time.Second
 					}
+					d = d/2 + time.Duration(rng.Int63n(int64(d/2)+1))
 					time.Sleep(d)
 					continue
 				case resp.StatusCode != http.StatusOK || decodeErr != nil || res.State != jobq.StateDone:
@@ -223,7 +243,7 @@ func run(url string, clients int, duration time.Duration, class, impl string, re
 		RepeatPercent: repeat, Seconds: elapsed,
 		Jobs: len(samples), JobsPerSec: float64(len(samples)) / elapsed,
 		Hits: len(hits), Misses: len(misses),
-		Rejected: rejected, Failed: failed,
+		Rejected: rejected, Retries: retries, Failed: failed,
 		HitP50Micros:   perfstat.Quantile(hits, 0.5) * 1e6,
 		HitP99Micros:   perfstat.Quantile(hits, 0.99) * 1e6,
 		MissP50Millis:  perfstat.Quantile(misses, 0.5) * 1e3,

@@ -31,6 +31,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"log/slog"
 	"math"
 	"os"
 	"time"
@@ -38,6 +39,7 @@ import (
 	"repro/internal/mgmpi"
 	"repro/internal/mpinet"
 	"repro/internal/nas"
+	"repro/internal/obs"
 )
 
 // result is the -json report, one object per rank.
@@ -68,8 +70,23 @@ func main() {
 		retries      = flag.Int("retries", 60, "rendezvous/mesh dial attempts")
 		backoff      = flag.Duration("backoff", 250*time.Millisecond, "pause between dial attempts")
 		dieAfterIter = flag.Int("die-after-iter", 0, "fault injection: exit(3) abruptly after this V-cycle iteration (0 = never)")
+		logFormat    = flag.String("log-format", "text", "structured log format for stderr diagnostics: text or json")
 	)
 	flag.Parse()
+
+	// Diagnostics go to stderr as structured log lines; the stdout
+	// protocol (the MGRANK LISTEN line and the result report) is
+	// unchanged — launchers parse it.
+	logger, err := obs.NewLogger(os.Stderr, *logFormat, slog.LevelInfo)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mgrank:", err)
+		os.Exit(2)
+	}
+	logger = logger.With("rank", *rank)
+	fatalf := func(format string, args ...any) {
+		logger.Error(fmt.Sprintf(format, args...))
+		os.Exit(1)
+	}
 
 	class, err := nas.ClassByName(*className)
 	if err != nil {
@@ -119,7 +136,7 @@ func main() {
 	if *dieAfterIter > 0 {
 		solver.OnIter = func(rank, iter int) {
 			if iter == *dieAfterIter {
-				fmt.Fprintf(os.Stderr, "mgrank: rank %d dying after iteration %d (fault injection)\n", rank, iter)
+				logger.Error("dying after iteration (fault injection)", "iter", iter)
 				os.Exit(3)
 			}
 		}
@@ -171,9 +188,4 @@ func main() {
 	if !ok {
 		os.Exit(1)
 	}
-}
-
-func fatalf(format string, args ...any) {
-	fmt.Fprintf(os.Stderr, "mgrank: "+format+"\n", args...)
-	os.Exit(1)
 }

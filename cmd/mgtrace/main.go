@@ -15,6 +15,15 @@
 // (ui.perfetto.dev) or chrome://tracing. Multiple input files are
 // concatenated before analysis, so per-rank trace files from an mgmpi run
 // merge into a single timeline.
+//
+// Service traces (mgd -trace) interleave many jobs on one stream; their
+// events carry trace/job tags. The summary then also aggregates the
+// request stages (ingress, queue, dedup, solve, respond) and counts the
+// traced jobs, and -perfetto gives each traced job its own track block —
+// stage spans on the job's base track, its kernel spans on per-level
+// tracks beneath it — so one request reads as a single connected span
+// tree from ingress to respond. Filter by the trace arg in Perfetto to
+// follow one request end to end.
 package main
 
 import (

@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/jobq"
 	"repro/internal/nas"
+	"repro/internal/obs"
 	"repro/internal/perfstat"
 )
 
@@ -166,7 +167,17 @@ func RunService(w io.Writer, class nas.Class, cfg ServiceConfig) (ServiceReport,
 	fmt.Fprintf(w, "%-22s %12.0fx\n", "hit speedup", rep.Speedup)
 	fmt.Fprintf(w, "%-22s %12.1f jobs/s over %.2f s\n", "saturation", rep.JobsPerSec, rep.Elapsed)
 	s := rep.Stats
-	fmt.Fprintf(w, "%-22s submitted=%d completed=%d cachehits=%d deduped=%d\n\n",
+	fmt.Fprintf(w, "%-22s submitted=%d completed=%d cachehits=%d deduped=%d\n",
 		"queue", s.Submitted, s.Completed, s.CacheHits, s.Deduped)
+	// The cumulative stage decomposition (the in-process counterpart of
+	// the daemon's mgd_stage_seconds): where the service spent its time,
+	// summed over every terminal job.
+	fmt.Fprintf(w, "%-22s", "stage seconds")
+	for _, stage := range obs.Stages {
+		if secs, ok := s.StageSeconds[stage]; ok {
+			fmt.Fprintf(w, " %s=%.3f", stage, secs)
+		}
+	}
+	fmt.Fprintf(w, "\n\n")
 	return rep, nil
 }

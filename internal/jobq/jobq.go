@@ -11,6 +11,8 @@ import (
 	"time"
 
 	"repro/internal/mempool"
+	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/sched"
 )
 
@@ -36,12 +38,37 @@ func (s State) Terminal() bool {
 	return s == StateDone || s == StateFailed || s == StateCancelled
 }
 
+// StageBreakdown is the per-stage latency decomposition of one job —
+// the monotonic-timestamp differences the queue records at
+// submit/admit/dequeue/solve-start/solve-end/respond (stage model:
+// internal/obs). It is echoed in /v1/results/{id} so a client can see
+// where its request's time went without scraping histograms.
+type StageBreakdown struct {
+	// IngressSeconds is submit entry → admission decision.
+	IngressSeconds float64 `json:"ingressSeconds"`
+	// QueueSeconds is admission → a runner dequeued the job.
+	QueueSeconds float64 `json:"queueSeconds"`
+	// SolveSeconds is runner start → solver return.
+	SolveSeconds float64 `json:"solveSeconds"`
+	// RespondSeconds is solver return → terminal result published.
+	RespondSeconds float64 `json:"respondSeconds"`
+	// TotalSeconds is submit entry → terminal result published.
+	TotalSeconds float64 `json:"totalSeconds"`
+	// DedupWaiters counts submissions that coalesced onto this job
+	// instead of running their own solve.
+	DedupWaiters int `json:"dedupWaiters,omitempty"`
+}
+
 // Result is the full record of one job: identity, lifecycle, norms,
 // verification and accounting. It is a value type — lookups return
 // copies, so readers never race the runner.
 type Result struct {
 	// ID is the content address (Request.ID).
 	ID string `json:"id"`
+	// TraceID is the trace identity of the submission that created the
+	// job (dedup attachers and cache hits see their own trace IDs in
+	// their responses, the job keeps its creator's).
+	TraceID string `json:"traceId,omitempty"`
 	// Request is the normalized request that defines the job.
 	Request Request `json:"request"`
 	// State is the lifecycle position at lookup time.
@@ -64,6 +91,9 @@ type Result struct {
 	// execution time of the solve itself.
 	QueueSeconds float64 `json:"queueSeconds,omitempty"`
 	SolveSeconds float64 `json:"solveSeconds,omitempty"`
+	// Stages is the full per-stage latency decomposition, populated on
+	// the terminal transition (nil while the job is in flight).
+	Stages *StageBreakdown `json:"stages,omitempty"`
 	// MemAllocs/MemReuses are the job's private mempool-scope counters:
 	// fresh allocations versus buffers recycled from the shared arena.
 	MemAllocs uint64 `json:"memAllocs,omitempty"`
@@ -97,6 +127,15 @@ type Config struct {
 	Sched *sched.Pool
 	// Mem is the buffer arena for solves; nil selects mempool.Shared().
 	Mem *mempool.Pool
+	// Obs is the request-scoped observability layer: structured logs,
+	// mgd_stage_seconds histograms and the flight recorder. nil disables
+	// all three at the cost of one nil check per lifecycle transition.
+	Obs *obs.Observer
+	// Trace, when non-nil, receives trace-tagged service-stage events
+	// (ingress, queue, dedup, solve) for every job, on the same stream
+	// the solver's kernel spans land on — the raw material of the
+	// per-job Perfetto span tree. nil disables stage tracing for free.
+	Trace *metrics.Tracer
 }
 
 // FullError is the admission-control rejection: the queue is at
@@ -133,8 +172,17 @@ type job struct {
 	waiters int  // wait-mode clients that can still Release
 	keep    bool // a fire-and-forget submission owns the job: never auto-cancel
 
-	queuedAt  time.Time
-	startedAt time.Time
+	// The stage clock: monotonic timestamps at each lifecycle boundary
+	// (submittedAt = Submit entry, queuedAt = admission, startedAt =
+	// dequeue/solve start, solveEndAt = the runner's RunFunc returned).
+	// Their differences are the job's StageBreakdown.
+	submittedAt time.Time
+	queuedAt    time.Time
+	startedAt   time.Time
+	solveEndAt  time.Time
+	// dedupAttach records when each coalesced submission attached; their
+	// waits (attach → terminal) feed the dedup stage histogram.
+	dedupAttach []time.Time
 }
 
 // Queue is the service core: admission control, priority scheduling,
@@ -143,6 +191,8 @@ type Queue struct {
 	cfg   Config
 	run   RunFunc
 	cache *resultCache
+	obs   *obs.Observer
+	trace *metrics.Tracer
 
 	mu       sync.Mutex
 	cond     *sync.Cond // runners wait here; drain waits here too
@@ -153,6 +203,9 @@ type Queue struct {
 	draining bool
 	stopped  bool
 	ema      float64 // EMA of solve seconds; 0 = no sample yet
+	// stageSecs accumulates per-stage latency over terminal jobs
+	// (Stats.StageSeconds); lazily allocated on the first finish.
+	stageSecs map[string]float64
 
 	submitted, completed, failed, cancelled, rejected, deduped uint64
 
@@ -176,6 +229,8 @@ func New(cfg Config) *Queue {
 		run:   cfg.Run,
 		cache: newResultCache(cfg.CacheEntries),
 		jobs:  make(map[string]*job),
+		obs:   cfg.Obs,
+		trace: cfg.Trace,
 	}
 	if q.run == nil {
 		q.run = Solver(cfg.Sched, cfg.Mem)
@@ -270,14 +325,33 @@ var closedChan = func() chan struct{} {
 // existing job. Rejections: *RequestError (malformed), *FullError (at
 // capacity), ErrDraining (shutting down).
 func (q *Queue) Submit(req Request) (*Ticket, error) {
+	ingressStart := time.Now()
 	req, err := req.Normalize()
 	if err != nil {
 		return nil, err
+	}
+	if req.TraceID == "" {
+		// The HTTP front end mints at ingress; direct API users get an
+		// ID here so every job is traceable.
+		req.TraceID = obs.NewTraceID().String()
 	}
 	id := req.ID()
 	if !req.Force {
 		if res, ok := q.cache.get(id); ok {
 			res.Cached = true
+			res.TraceID = req.TraceID
+			ingress := time.Since(ingressStart).Seconds()
+			res.Stages = &StageBreakdown{IngressSeconds: ingress, TotalSeconds: ingress}
+			q.trace.Emit(metrics.Event{Ev: "stage", Stage: obs.StageIngress,
+				Nanos: int64(time.Since(ingressStart)), Trace: req.TraceID, Job: id})
+			q.obs.JobFinished(obs.JobRecord{
+				TraceID: req.TraceID, JobID: id, Tenant: req.Tenant,
+				Class: req.Class, Impl: req.Impl,
+				State: string(StateDone), Cached: true,
+				SubmitUnixNano: ingressStart.UnixNano(),
+				IngressSeconds: ingress, TotalSeconds: ingress,
+				Rnm2: res.Rnm2,
+			})
 			return &Ticket{q: q, res: res, cached: true}, nil
 		}
 	}
@@ -296,23 +370,29 @@ func (q *Queue) Submit(req Request) (*Ticket, error) {
 		} else {
 			j.keep = true
 		}
+		j.dedupAttach = append(j.dedupAttach, time.Now())
+		q.obs.JobDeduped(req.TraceID, id, req.Tenant)
 		return &Ticket{q: q, job: j}, nil
 	}
 	if len(q.jobs) >= q.cfg.Capacity {
 		q.rejected++
-		return nil, &FullError{Capacity: q.cfg.Capacity, RetryAfter: q.retryAfterLocked()}
+		retry := q.retryAfterLocked()
+		q.obs.JobRejected(req.TraceID, req.Tenant, retry)
+		return nil, &FullError{Capacity: q.cfg.Capacity, RetryAfter: retry}
 	}
 	ctx, cancel := context.WithCancel(context.Background())
+	now := time.Now()
 	j := &job{
-		id:       id,
-		req:      req,
-		ctx:      ctx,
-		cancel:   cancel,
-		done:     make(chan struct{}),
-		prio:     q.cfg.Priorities[req.Tenant],
-		seq:      q.seq,
-		queuedAt: time.Now(),
-		res:      Result{ID: id, Request: req, State: StateQueued},
+		id:          id,
+		req:         req,
+		ctx:         ctx,
+		cancel:      cancel,
+		done:        make(chan struct{}),
+		prio:        q.cfg.Priorities[req.Tenant],
+		seq:         q.seq,
+		submittedAt: ingressStart,
+		queuedAt:    now,
+		res:         Result{ID: id, TraceID: req.TraceID, Request: req, State: StateQueued},
 	}
 	q.seq++
 	if req.Wait {
@@ -323,6 +403,9 @@ func (q *Queue) Submit(req Request) (*Ticket, error) {
 	q.jobs[id] = j
 	heap.Push(&q.pending, j)
 	q.cond.Signal()
+	q.trace.Emit(metrics.Event{Ev: "stage", Stage: obs.StageIngress,
+		Nanos: int64(now.Sub(ingressStart)), Trace: req.TraceID, Job: id})
+	q.obs.JobAdmitted(req.TraceID, id, req.Tenant, len(q.pending), q.running)
 	return &Ticket{q: q, job: j}, nil
 }
 
@@ -358,35 +441,55 @@ func (q *Queue) runner() {
 		j := heap.Pop(&q.pending).(*job)
 		if j.ctx.Err() != nil {
 			// Abandoned while queued: terminal without running.
-			q.finishLocked(j, Result{}, j.ctx.Err())
+			rec := q.finishLocked(j, Result{}, j.ctx.Err())
 			q.mu.Unlock()
+			q.publishFinish(j, rec)
 			continue
 		}
-		j.startedAt = time.Now()
+		dequeued := time.Now()
 		j.res.State = StateRunning
-		j.res.QueueSeconds = j.startedAt.Sub(j.queuedAt).Seconds()
+		j.res.QueueSeconds = dequeued.Sub(j.queuedAt).Seconds()
 		q.running++
 		q.mu.Unlock()
+		q.trace.Emit(metrics.Event{Ev: "stage", Stage: obs.StageQueue,
+			Nanos: int64(dequeued.Sub(j.queuedAt)), Trace: j.req.TraceID, Job: j.id})
+		// startedAt is taken after the queue-stage emit: the tracer stamps
+		// span ends at emission, so this ordering is what guarantees the
+		// queue and solve spans of one job never overlap in the timeline.
+		j.startedAt = time.Now()
 
 		res, err := q.run(j.ctx, j.req)
+		j.solveEndAt = time.Now()
+		q.trace.Emit(metrics.Event{Ev: "stage", Stage: obs.StageSolve,
+			Nanos: int64(j.solveEndAt.Sub(j.startedAt)), Trace: j.req.TraceID, Job: j.id})
 
 		q.mu.Lock()
 		q.running--
-		q.finishLocked(j, res, err)
+		rec := q.finishLocked(j, res, err)
 		q.mu.Unlock()
+		q.publishFinish(j, rec)
 	}
 }
 
-// finishLocked publishes a job's terminal state: result fields, cache
-// entry, counters, EMA, waiter wake-up. Caller holds q.mu.
-func (q *Queue) finishLocked(j *job, res Result, err error) {
+// finishLocked publishes a job's terminal state: result fields, stage
+// breakdown, cache entry, counters, EMA, waiter wake-up. Caller holds
+// q.mu; the returned flight record is handed to publishFinish outside
+// the lock (the observer may log or write a dump file).
+func (q *Queue) finishLocked(j *job, res Result, err error) obs.JobRecord {
+	now := time.Now()
 	queueSecs := j.res.QueueSeconds
+	if j.startedAt.IsZero() {
+		// Died in the queue: its whole life was queue wait.
+		queueSecs = now.Sub(j.queuedAt).Seconds()
+	}
 	if !j.startedAt.IsZero() {
 		res.SolveSeconds = time.Since(j.startedAt).Seconds()
 	}
 	res.ID = j.id
+	res.TraceID = j.req.TraceID
 	res.Request = j.req
 	res.QueueSeconds = queueSecs
+	nonFinite := false
 	switch {
 	case err != nil && (errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)):
 		res.State = StateCancelled
@@ -402,6 +505,7 @@ func (q *Queue) finishLocked(j *job, res Result, err error) {
 		res.State = StateFailed
 		res.Error = fmt.Sprintf("non-finite residual norm (rnm2=%v, rnmu=%v)", res.Rnm2, res.Rnmu)
 		res.Rnm2, res.Rnmu = 0, 0 // NaN/Inf are not representable in JSON
+		nonFinite = true
 		q.failed++
 	default:
 		res.State = StateDone
@@ -414,12 +518,66 @@ func (q *Queue) finishLocked(j *job, res Result, err error) {
 			}
 		}
 	}
+	stages := StageBreakdown{
+		IngressSeconds: j.queuedAt.Sub(j.submittedAt).Seconds(),
+		QueueSeconds:   queueSecs,
+		SolveSeconds:   res.SolveSeconds,
+		TotalSeconds:   now.Sub(j.submittedAt).Seconds(),
+		DedupWaiters:   len(j.dedupAttach),
+	}
+	if !j.solveEndAt.IsZero() {
+		stages.RespondSeconds = now.Sub(j.solveEndAt).Seconds()
+	}
+	res.Stages = &stages
+	if q.stageSecs == nil {
+		q.stageSecs = make(map[string]float64, len(obs.Stages))
+	}
+	q.stageSecs[obs.StageIngress] += stages.IngressSeconds
+	q.stageSecs[obs.StageQueue] += stages.QueueSeconds
+	q.stageSecs[obs.StageSolve] += stages.SolveSeconds
+	q.stageSecs[obs.StageRespond] += stages.RespondSeconds
 	j.res = res
 	j.cancel() // release the context's resources in every path
 	delete(q.jobs, j.id)
 	q.cache.put(j.id, res)
 	close(j.done)
 	q.cond.Broadcast() // wake Drain waiters (and idle runners, harmlessly)
+
+	rec := obs.JobRecord{
+		TraceID: j.req.TraceID, JobID: j.id, Tenant: j.req.Tenant,
+		Class: j.req.Class, Impl: j.req.Impl,
+		State: string(res.State), Error: res.Error, NonFinite: nonFinite,
+		SubmitUnixNano: j.submittedAt.UnixNano(),
+		IngressSeconds: stages.IngressSeconds,
+		QueueSeconds:   stages.QueueSeconds,
+		SolveSeconds:   stages.SolveSeconds,
+		RespondSeconds: stages.RespondSeconds,
+		TotalSeconds:   stages.TotalSeconds,
+		DedupWaiters:   stages.DedupWaiters,
+		QueueDepth:     len(q.pending),
+		Running:        q.running,
+		Rnm2:           res.Rnm2,
+	}
+	for _, at := range j.dedupAttach {
+		rec.DedupWaitSeconds = append(rec.DedupWaitSeconds, now.Sub(at).Seconds())
+	}
+	return rec
+}
+
+// publishFinish runs the post-terminal observability work outside q.mu:
+// dedup-wait stage events and the observer's histogram/ring/log/dump
+// hooks (a dump writes a file — never under the queue lock).
+func (q *Queue) publishFinish(j *job, rec obs.JobRecord) {
+	if q.trace != nil {
+		for _, wait := range rec.DedupWaitSeconds {
+			q.trace.Emit(metrics.Event{Ev: "stage", Stage: obs.StageDedup,
+				Nanos: int64(wait * float64(time.Second)), Trace: rec.TraceID, Job: rec.JobID})
+		}
+		q.trace.Emit(metrics.Event{Ev: "stage", Stage: obs.StageRespond,
+			Nanos: int64(rec.RespondSeconds * float64(time.Second)),
+			Trace: rec.TraceID, Job: rec.JobID})
+	}
+	q.obs.JobFinished(rec)
 }
 
 // Lookup returns the current record of a job by content address: the
@@ -441,8 +599,14 @@ func (q *Queue) Lookup(id string) (Result, bool) {
 // was still in flight at the deadline.
 func (q *Queue) Drain(ctx context.Context) error {
 	q.mu.Lock()
+	first := !q.draining
 	q.draining = true
 	q.mu.Unlock()
+	if first {
+		// The drain snapshot: what the queue looked like when intake
+		// stopped — the flight recorder's "end of tape" marker.
+		q.obs.DrainStarted()
+	}
 
 	done := make(chan struct{})
 	go func() {
@@ -491,6 +655,10 @@ type Stats struct {
 	Queued, Running, CacheEntries                              int
 	EMASolveSeconds                                            float64
 	Draining                                                   bool
+	// StageSeconds is the cumulative per-stage latency over every
+	// terminal job, keyed by obs stage name — the coarse companion of
+	// the mgd_stage_seconds histograms, cheap enough for /v1/stats.
+	StageSeconds map[string]float64 `json:",omitempty"`
 }
 
 // Stats returns the snapshot.
@@ -507,6 +675,12 @@ func (q *Queue) Stats() Stats {
 		Running:         q.running,
 		EMASolveSeconds: q.ema,
 		Draining:        q.draining,
+	}
+	if q.stageSecs != nil {
+		s.StageSeconds = make(map[string]float64, len(q.stageSecs))
+		for stage, secs := range q.stageSecs {
+			s.StageSeconds[stage] = secs
+		}
 	}
 	q.mu.Unlock()
 	s.CacheHits, s.CacheMisses = q.cache.counters()

@@ -27,6 +27,7 @@ import (
 
 	"repro/internal/nas"
 	"repro/internal/nasrand"
+	"repro/internal/obs"
 	"repro/internal/tune"
 )
 
@@ -75,6 +76,14 @@ type Request struct {
 	// finishes instead of returning 202 immediately. Not part of the job
 	// identity.
 	Wait bool `json:"wait,omitempty"`
+	// TraceID is the request's 128-bit trace identity (32 hex digits),
+	// minted at HTTP ingress or propagated from the X-Mg-Trace-Id
+	// header. It threads through the queue, the structured logs, the
+	// kernel tracer and the flight recorder. Like Wait and Tenant it is
+	// a transport concern, not part of the job identity — two requests
+	// for the same problem share one execution and cache row while
+	// keeping their own trace IDs. Empty means "mint one at Submit".
+	TraceID string `json:"traceId,omitempty"`
 }
 
 // RequestError is a typed rejection of a malformed solve request: the
@@ -154,6 +163,9 @@ func (r Request) Normalize() (Request, error) {
 	}
 	if len(r.Tenant) > 64 {
 		return Request{}, &RequestError{Field: "tenant", Reason: "tenant name exceeds 64 bytes"}
+	}
+	if r.TraceID != "" && !obs.ValidTraceID(r.TraceID) {
+		return Request{}, &RequestError{Field: "traceId", Reason: "trace ID must be 32 hex digits (W3C trace-id format)"}
 	}
 	return r, nil
 }

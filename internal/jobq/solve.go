@@ -10,30 +10,55 @@ import (
 	"repro/internal/health"
 	"repro/internal/mempool"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/sched"
 	wl "repro/internal/withloop"
 )
+
+// SolverConfig configures the real RunFunc. Every field is optional:
+// nil pools select the process-global runtimes, nil observability
+// sinks disable themselves for free.
+type SolverConfig struct {
+	// Sched is the worker pool jobs multiplex over; nil = sched.Shared().
+	Sched *sched.Pool
+	// Mem is the buffer arena; nil = mempool.Shared().
+	Mem *mempool.Pool
+	// Metrics aggregates per-kernel timings across the whole job stream
+	// (one collector shared by all jobs; its shards are mutex-protected).
+	Metrics *metrics.Collector
+	// Trace receives the solver's V-cycle events. Each job emits through
+	// a ForJob view tagged with its trace and job IDs, so the shared
+	// stream regroups into per-request span trees (cmd/mgtrace).
+	Trace *metrics.Tracer
+	// Obs receives each sac solve's health verdict into the flight
+	// recorder's verdict history.
+	Obs *obs.Observer
+}
 
 // Solver returns the real RunFunc: each job solves over the shared
 // worker pool and draws its grids from a private scope of the shared
 // buffer arena. Nil arguments select the process-global runtimes.
 func Solver(pool *sched.Pool, mem *mempool.Pool) RunFunc {
-	return ObservedSolver(pool, mem, nil)
+	return NewSolver(SolverConfig{Sched: pool, Mem: mem})
 }
 
 // ObservedSolver is Solver with a kernel-metrics collector attached to
-// every sac job's environment — one collector shared across all jobs
-// (its per-worker shards are mutex-protected), so the daemon's /metrics
-// endpoint aggregates kernel timings over the whole job stream.
+// every sac job's environment. Kept for callers that predate
+// SolverConfig; NewSolver is the full-width constructor.
 func ObservedSolver(pool *sched.Pool, mem *mempool.Pool, col *metrics.Collector) RunFunc {
-	if pool == nil {
-		pool = sched.Shared()
+	return NewSolver(SolverConfig{Sched: pool, Mem: mem, Metrics: col})
+}
+
+// NewSolver builds the RunFunc from the config.
+func NewSolver(cfg SolverConfig) RunFunc {
+	if cfg.Sched == nil {
+		cfg.Sched = sched.Shared()
 	}
-	if mem == nil {
-		mem = mempool.Shared()
+	if cfg.Mem == nil {
+		cfg.Mem = mempool.Shared()
 	}
 	return func(ctx context.Context, req Request) (Result, error) {
-		return solve(ctx, req, pool, mem, col)
+		return solve(ctx, req, cfg)
 	}
 }
 
@@ -42,18 +67,23 @@ func ObservedSolver(pool *sched.Pool, mem *mempool.Pool, col *metrics.Collector)
 // solve of the same request — shared pools, scopes and observation hooks
 // never change the arithmetic (asserted by TestServiceSolveMatchesDirect
 // and the daemon integration test).
-func solve(ctx context.Context, req Request, pool *sched.Pool, mem *mempool.Pool, col *metrics.Collector) (Result, error) {
+func solve(ctx context.Context, req Request, cfg SolverConfig) (Result, error) {
+	pool, col := cfg.Sched, cfg.Metrics
 	class := req.class()
-	res := Result{ID: req.ID(), Request: req}
+	res := Result{ID: req.ID(), TraceID: req.TraceID, Request: req}
 	cancelled := func() bool { return ctx.Err() != nil }
 	start := time.Now()
 
 	var rnm2, rnmu float64
 	switch req.Impl {
 	case "sac":
-		env := wl.Service(pool, mem)
+		env := wl.Service(pool, cfg.Mem)
 		env.Variant = req.Variant
 		env.AttachMetrics(col)
+		// The per-job tracer view: every kernel span, iteration marker
+		// and solve summary this job emits carries its trace/job tags
+		// (nil propagates — a disabled tracer stays one nil check).
+		env.Trace = cfg.Trace.ForJob(req.TraceID, req.ID())
 		mon := health.New(health.Config{})
 		env.Health = mon
 		b := core.NewBenchmark(class, env)
@@ -63,6 +93,7 @@ func solve(ctx context.Context, req Request, pool *sched.Pool, mem *mempool.Pool
 		scope := env.Pool.Stats()
 		res.MemAllocs, res.MemReuses = scope.Allocs, scope.Reuses
 		res.Health = mon.Report(metrics.Snapshot{}).Verdict
+		cfg.Obs.HealthVerdict(res.Health)
 		// Return the job's grids to the shared arena before the scope is
 		// discarded — the next job reuses the buffers instead of the heap.
 		env.Release(b.U())

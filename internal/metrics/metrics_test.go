@@ -181,17 +181,64 @@ func TestTracerJSONLines(t *testing.T) {
 
 // TestMetricsDisabledZeroAlloc pins the disabled fast path: a nil
 // collector and a nil tracer must record and emit for free — 0 bytes per
-// operation (the acceptance criterion of the observability layer).
+// operation (the acceptance criterion of the observability layer). The
+// nil contract propagates through ForJob, so a daemon without -trace
+// pays the same zero on every per-job view.
 func TestMetricsDisabledZeroAlloc(t *testing.T) {
 	var c *Collector
 	var tr *Tracer
+	view := tr.ForJob("00112233445566778899aabbccddeeff", "deadbeef")
+	if view != nil {
+		t.Fatal("ForJob on a nil tracer must return nil")
+	}
 	allocs := testing.AllocsPerRun(1000, func() {
 		c.Record(0, "subRelax", 5, 1000, time.Microsecond)
 		c.RecordBusy(0, time.Microsecond)
 		tr.Emit(Event{Ev: "span", Kernel: "resid", Level: 5, Nanos: 1000})
+		view.Emit(Event{Ev: "stage", Stage: "queue", Nanos: 1000})
 	})
 	if allocs != 0 {
 		t.Fatalf("disabled metrics path allocates %v bytes/op, want 0", allocs)
+	}
+}
+
+// TestTracerForJobTagging pins the per-job view semantics: a view stamps
+// its trace/job tags on every event (an event's own tags win), views
+// share their parent's stream and counters, and the untagged root
+// tracer's output is unchanged — no trace/job keys appear in its JSON,
+// so one-shot CLI traces stay byte-compatible.
+func TestTracerForJobTagging(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewTracer(&buf)
+	view := tr.ForJob("11111111111111111111111111111111", "job1")
+	tr.Emit(Event{Ev: "iter", Iter: 1})
+	view.Emit(Event{Ev: "stage", Stage: "queue", Nanos: 10})
+	view.Emit(Event{Ev: "span", Kernel: "resid", Level: 3, Nanos: 20})
+	view.Emit(Event{Ev: "stage", Stage: "solve", Nanos: 30, Trace: "2222", Job: "job2"})
+	if tr.Events() != 4 {
+		t.Fatalf("shared stream counts %d events, want 4", tr.Events())
+	}
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	events, err := ReadEvents(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if events[0].Trace != "" || events[0].Job != "" {
+		t.Fatalf("root tracer event grew tags: %+v", events[0])
+	}
+	if strings.Contains(strings.Split(buf.String(), "\n")[0], "trace") {
+		t.Fatalf("untagged event serializes trace keys: %s", strings.Split(buf.String(), "\n")[0])
+	}
+	for _, e := range events[1:3] {
+		if e.Trace != "11111111111111111111111111111111" || e.Job != "job1" {
+			t.Fatalf("view event not tagged: %+v", e)
+		}
+	}
+	if events[3].Trace != "2222" || events[3].Job != "job2" {
+		t.Fatalf("event's own tags must win over the view's: %+v", events[3])
 	}
 }
 

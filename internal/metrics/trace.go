@@ -3,6 +3,13 @@
 // summaries, for offline inspection of one benchmark run (cmd/mgbench
 // -trace out.jsonl). One JSON object per line; the schema is the Event
 // struct below (documented in DESIGN.md §3.2).
+//
+// In a resident service (cmd/mgd) many jobs interleave on one stream, so
+// a Tracer can derive per-job views with ForJob: a view shares the
+// stream, the epoch and the error state of its parent but stamps every
+// event it emits with a trace ID and job ID. That is how one request's
+// span tree (ingress → queue → solve → kernels) stays connected through
+// a shared worker pool — cmd/mgtrace groups events by trace tag.
 package metrics
 
 import (
@@ -26,15 +33,24 @@ import (
 //	iter   the start of MGrid iteration Iter (1-based)
 //	plan   the tuner settled on (or was handed) Plan for Kernel@Level
 //	solve  one whole benchmark solve: Nanos of wall time, final Rnm2
+//	stage  one service-stage span of a daemon job (internal/jobq):
+//	       Stage = ingress | queue | dedup | solve | respond, taking
+//	       Nanos, always trace-tagged
 //
 // Rank tags the emitting simulated-MPI rank (internal/mgmpi); it is 0 —
 // and omitted — for single-process runs, so traces from several ranks
 // concatenate into one stream that mgtrace splits back into per-rank
 // Perfetto processes.
+//
+// Trace and Job tag events emitted through a per-job tracer view
+// (Tracer.ForJob): Trace is the request's 128-bit trace ID in hex, Job
+// the jobq content address. Both are empty — and omitted — for one-shot
+// CLI runs, so existing traces are unchanged byte for byte.
 type Event struct {
 	// T is nanoseconds since the tracer was created; Emit stamps it.
 	T int64 `json:"t"`
-	// Ev is the event kind: span, wspan, level, iter, plan or solve.
+	// Ev is the event kind: span, wspan, level, iter, plan, solve or
+	// stage.
 	Ev     string  `json:"ev"`
 	Kernel string  `json:"kernel,omitempty"`
 	Level  int     `json:"level,omitempty"`
@@ -45,16 +61,18 @@ type Event struct {
 	Rnm2   float64 `json:"rnm2,omitempty"`
 	Worker int     `json:"worker,omitempty"`
 	Rank   int     `json:"rank,omitempty"`
+	// Stage names the service stage of a "stage" event.
+	Stage string `json:"stage,omitempty"`
+	// Trace/Job are the request-scoped tags of a daemon job's events.
+	Trace string `json:"trace,omitempty"`
+	Job   string `json:"job,omitempty"`
 }
 
-// Tracer writes Events as JSON lines. A nil *Tracer is the disabled
-// tracer: Emit is a no-op costing one nil check and no allocations.
-// A Tracer is safe for concurrent use; the first encoding error sticks
-// and suppresses further output (check Err or Close). Close is
-// idempotent — the first call flushes and seals the stream, repeated
-// calls return the same verdict, and events emitted after Close are
-// dropped rather than written to a writer the caller may have closed.
-type Tracer struct {
+// tracerCore is the shared half of a Tracer: the locked stream, the
+// epoch, and the sticky error state. Every view derived with ForJob
+// points at the same core, so their events interleave on one stream
+// with one consistent timebase.
+type tracerCore struct {
 	mu     sync.Mutex
 	bw     *bufio.Writer
 	enc    *json.Encoder
@@ -64,41 +82,82 @@ type Tracer struct {
 	closed bool
 }
 
+// Tracer writes Events as JSON lines. A nil *Tracer is the disabled
+// tracer: Emit is a no-op costing one nil check and no allocations.
+// A Tracer is safe for concurrent use; the first encoding error sticks
+// and suppresses further output (check Err or Close). Close is
+// idempotent — the first call flushes and seals the stream, repeated
+// calls return the same verdict, and events emitted after Close are
+// dropped rather than written to a writer the caller may have closed.
+//
+// ForJob derives tagged views that share the stream; closing any view
+// seals the stream for all of them (a service closes its tracer once,
+// at shutdown).
+type Tracer struct {
+	core *tracerCore
+	// trace/job stamp every event emitted through this view; empty on
+	// the root tracer.
+	trace, job string
+}
+
 // NewTracer creates a tracer writing to w. The stream is buffered; call
 // Close (or Flush) when the run is done. The caller retains ownership of
 // w and closes it after the tracer.
 func NewTracer(w io.Writer) *Tracer {
 	bw := bufio.NewWriter(w)
-	return &Tracer{bw: bw, enc: json.NewEncoder(bw), start: time.Now()}
+	return &Tracer{core: &tracerCore{bw: bw, enc: json.NewEncoder(bw), start: time.Now()}}
+}
+
+// ForJob derives a view of the tracer that stamps every emitted event
+// with the given trace and job IDs. The view shares the parent's
+// stream, epoch, counters and error state — events from many jobs
+// interleave on one stream and mgtrace regroups them by tag. ForJob on
+// a nil tracer returns nil (the disabled tracer propagates for free),
+// so the call is safe on any service path.
+func (t *Tracer) ForJob(traceID, jobID string) *Tracer {
+	if t == nil {
+		return nil
+	}
+	return &Tracer{core: t.core, trace: traceID, job: jobID}
 }
 
 // Emit writes one event, stamping its T with the time since the tracer
-// was created. Emit on a nil tracer is a no-op, as is Emit after Close
-// (late events from defers on error paths are dropped, not written).
+// was created and, on a ForJob view, the view's trace/job tags (an
+// event's own tags win if already set). Emit on a nil tracer is a
+// no-op, as is Emit after Close (late events from defers on error paths
+// are dropped, not written).
 func (t *Tracer) Emit(e Event) {
 	if t == nil {
 		return
 	}
-	t.mu.Lock()
-	if t.err == nil && !t.closed {
-		e.T = int64(time.Since(t.start))
-		if err := t.enc.Encode(e); err != nil {
-			t.err = err
+	if e.Trace == "" {
+		e.Trace = t.trace
+	}
+	if e.Job == "" {
+		e.Job = t.job
+	}
+	c := t.core
+	c.mu.Lock()
+	if c.err == nil && !c.closed {
+		e.T = int64(time.Since(c.start))
+		if err := c.enc.Encode(e); err != nil {
+			c.err = err
 		} else {
-			t.n++
+			c.n++
 		}
 	}
-	t.mu.Unlock()
+	c.mu.Unlock()
 }
 
-// Events returns the number of events written so far.
+// Events returns the number of events written so far (across all views
+// of the stream).
 func (t *Tracer) Events() int {
 	if t == nil {
 		return 0
 	}
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	return t.n
+	t.core.mu.Lock()
+	defer t.core.mu.Unlock()
+	return t.core.n
 }
 
 // Flush drains the buffer and returns the first error seen. Flush after
@@ -107,19 +166,19 @@ func (t *Tracer) Flush() error {
 	if t == nil {
 		return nil
 	}
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	return t.flushLocked()
+	t.core.mu.Lock()
+	defer t.core.mu.Unlock()
+	return t.core.flushLocked()
 }
 
-func (t *Tracer) flushLocked() error {
-	if t.closed {
-		return t.err
+func (c *tracerCore) flushLocked() error {
+	if c.closed {
+		return c.err
 	}
-	if err := t.bw.Flush(); err != nil && t.err == nil {
-		t.err = err
+	if err := c.bw.Flush(); err != nil && c.err == nil {
+		c.err = err
 	}
-	return t.err
+	return c.err
 }
 
 // Err returns the sticky error, if any.
@@ -127,9 +186,9 @@ func (t *Tracer) Err() error {
 	if t == nil {
 		return nil
 	}
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	return t.err
+	t.core.mu.Lock()
+	defer t.core.mu.Unlock()
+	return t.core.err
 }
 
 // Close flushes and seals the stream; it does not close the underlying
@@ -137,14 +196,14 @@ func (t *Tracer) Err() error {
 // error path records the flush error), every later call returns the
 // same verdict without re-touching the writer — so paired defers in
 // both a helper and its caller are safe, even when the writer has been
-// closed in between.
+// closed in between. Closing any ForJob view seals the shared stream.
 func (t *Tracer) Close() error {
 	if t == nil {
 		return nil
 	}
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	err := t.flushLocked()
-	t.closed = true
+	t.core.mu.Lock()
+	defer t.core.mu.Unlock()
+	err := t.core.flushLocked()
+	t.core.closed = true
 	return err
 }

@@ -17,6 +17,15 @@
 //	                    coarse2fine) and tuner plan instants
 //	tid 1000+worker     one track per scheduler worker carrying its
 //	                    "wspan" busy slices
+//	tid 2000+100·j      one block of tracks per daemon job (events
+//	                    tagged with a trace ID, in order of first
+//	                    appearance): the base tid carries the job's
+//	                    service-stage spans (ingress, queue, dedup,
+//	                    solve, respond) plus its iteration instants and
+//	                    whole-solve span; base+1+level carries its
+//	                    kernel region spans. Grouping by trace tag is
+//	                    what keeps each request's span tree connected
+//	                    when many jobs interleave on shared workers.
 //
 // Span timestamps derive from the tracer's emit stamp: an event's T is
 // taken when the span ends, so its start is T − Nanos. Timestamps are
@@ -83,6 +92,15 @@ type WorkerSpanStat struct {
 	Nanos  int64 `json:"nanos"`
 }
 
+// StageStat aggregates the service-stage spans of one stage across the
+// stream — the trace-side view of the daemon's mgd_stage_seconds
+// histograms.
+type StageStat struct {
+	Stage string `json:"stage"`
+	Count int    `json:"count"`
+	Nanos int64  `json:"nanos"`
+}
+
 // Summary is the aggregated view of one trace stream (Summarize).
 type Summary struct {
 	Events  int              `json:"events"`
@@ -91,6 +109,10 @@ type Summary struct {
 	Spans   []SpanStat       `json:"spans"`
 	Ranks   []RankStat       `json:"ranks"`
 	Workers []WorkerSpanStat `json:"workers,omitempty"`
+	// Stages aggregates daemon service-stage spans; Traces counts the
+	// distinct trace IDs in the stream (0 for one-shot CLI traces).
+	Stages []StageStat `json:"stages,omitempty"`
+	Traces int         `json:"traces,omitempty"`
 	// SolveNanos sums the whole-solve spans; FinalRnm2 is the last solve
 	// event's residual norm.
 	SolveNanos int64   `json:"solveNanos"`
@@ -114,6 +136,8 @@ func Summarize(events []Event) Summary {
 	spans := map[SpanStat]*SpanStat{}
 	ranks := map[int]*RankStat{}
 	workers := map[[2]int]*WorkerSpanStat{}
+	stages := map[string]*StageStat{}
+	traces := map[string]bool{}
 	rankOf := func(rank int) *RankStat {
 		r := ranks[rank]
 		if r == nil {
@@ -124,6 +148,9 @@ func Summarize(events []Event) Summary {
 	}
 	for _, e := range events {
 		rankOf(e.Rank).Events++
+		if e.Trace != "" {
+			traces[e.Trace] = true
+		}
 		switch e.Ev {
 		case "span":
 			key := SpanStat{Rank: e.Rank, Kernel: e.Kernel, Level: e.Level}
@@ -144,6 +171,14 @@ func Summarize(events []Event) Summary {
 			}
 			w.Count++
 			w.Nanos += e.Nanos
+		case "stage":
+			s := stages[e.Stage]
+			if s == nil {
+				s = &StageStat{Stage: e.Stage}
+				stages[e.Stage] = s
+			}
+			s.Count++
+			s.Nanos += e.Nanos
 		case "iter":
 			sum.Iters++
 		case "solve":
@@ -181,6 +216,12 @@ func Summarize(events []Event) Summary {
 		return a.Worker < b.Worker
 	})
 
+	for _, s := range stages {
+		sum.Stages = append(sum.Stages, *s)
+	}
+	sort.Slice(sum.Stages, func(i, j int) bool { return sum.Stages[i].Stage < sum.Stages[j].Stage })
+	sum.Traces = len(traces)
+
 	var rankSum, rankMax int64
 	for _, r := range sum.Ranks {
 		rankSum += r.SpanNanos
@@ -217,6 +258,13 @@ func (s Summary) WriteText(w io.Writer) {
 	for _, sp := range s.Spans {
 		fmt.Fprintf(w, "%-6d %-14s %6d %8d %12.3f\n",
 			sp.Rank, sp.Kernel, sp.Level, sp.Count, float64(sp.Nanos)/1e6)
+	}
+	if len(s.Stages) > 0 {
+		fmt.Fprintf(w, "service stages (%d traced job(s)):\n", s.Traces)
+		for _, st := range s.Stages {
+			fmt.Fprintf(w, "  %-10s %6d span(s) %12.3f ms\n",
+				st.Stage, st.Count, float64(st.Nanos)/1e6)
+		}
 	}
 	fmt.Fprintf(w, "critical path (slowest rank): %.3f ms\n", float64(s.CriticalPathNanos)/1e6)
 	if s.RankImbalance > 0 {
@@ -265,6 +313,12 @@ const (
 	TidLevelBase = 1
 	// TidWorkerBase + worker is the scheduler-worker track.
 	TidWorkerBase = 1000
+	// TidJobBase + TidJobStride·job is the base track of one traced
+	// daemon job (service-stage spans); base+1+level carries the job's
+	// kernel region spans. Jobs are numbered by first appearance of
+	// their trace tag.
+	TidJobBase   = 2000
+	TidJobStride = 100
 )
 
 // ChromeTraceFrom converts a trace stream to Chrome trace-event JSON:
@@ -288,9 +342,50 @@ func ChromeTraceFrom(events []Event) ChromeTrace {
 		}
 		return 0
 	}
+	// Trace-tagged events (daemon jobs) get their own track block so each
+	// request's span tree stays connected: jobTid maps a trace ID to its
+	// base tid, in order of first appearance.
+	jobTids := map[string]int{}
+	jobTid := func(e Event) int {
+		tid, ok := jobTids[e.Trace]
+		if !ok {
+			tid = TidJobBase + TidJobStride*len(jobTids)
+			jobTids[e.Trace] = tid
+			label := e.Job
+			if label == "" {
+				label = e.Trace
+			}
+			if len(label) > 16 {
+				label = label[:16]
+			}
+			use(e.Rank, tid, "job "+label)
+		}
+		return tid
+	}
+	// jobArgs tags a Chrome event with its trace/job identity so Perfetto
+	// queries can join spans back to logs and API results.
+	jobArgs := func(e Event, args map[string]any) map[string]any {
+		args["trace"] = e.Trace
+		if e.Job != "" {
+			args["job"] = e.Job
+		}
+		return args
+	}
 	for _, e := range events {
 		switch e.Ev {
 		case "span":
+			if e.Trace != "" {
+				base := jobTid(e)
+				tid := base + 1 + e.Level
+				use(e.Rank, tid, fmt.Sprintf("level %d", e.Level))
+				out.TraceEvents = append(out.TraceEvents, ChromeEvent{
+					Name: e.Kernel, Ph: "X", Cat: "region",
+					Ts: spanStart(e.T, e.Nanos), Dur: usToTs(e.Nanos),
+					Pid: e.Rank, Tid: tid,
+					Args: jobArgs(e, map[string]any{"level": e.Level}),
+				})
+				continue
+			}
 			tid := TidLevelBase + e.Level
 			use(e.Rank, tid, fmt.Sprintf("level %d", e.Level))
 			out.TraceEvents = append(out.TraceEvents, ChromeEvent{
@@ -298,6 +393,16 @@ func ChromeTraceFrom(events []Event) ChromeTrace {
 				Ts: spanStart(e.T, e.Nanos), Dur: usToTs(e.Nanos),
 				Pid: e.Rank, Tid: tid,
 				Args: map[string]any{"level": e.Level},
+			})
+		case "stage":
+			// Service-stage spans only exist trace-tagged; an untagged one
+			// (hand-written trace) lands in a shared job block keyed "".
+			tid := jobTid(e)
+			out.TraceEvents = append(out.TraceEvents, ChromeEvent{
+				Name: e.Stage, Ph: "X", Cat: "stage",
+				Ts: spanStart(e.T, e.Nanos), Dur: usToTs(e.Nanos),
+				Pid: e.Rank, Tid: tid,
+				Args: jobArgs(e, map[string]any{"stage": e.Stage}),
 			})
 		case "wspan":
 			tid := TidWorkerBase + e.Worker
@@ -309,40 +414,64 @@ func ChromeTraceFrom(events []Event) ChromeTrace {
 				Args: map[string]any{"worker": e.Worker},
 			})
 		case "iter":
-			use(e.Rank, TidSolve, "solve")
+			tid := TidSolve
+			args := map[string]any{"iter": e.Iter}
+			if e.Trace != "" {
+				tid = jobTid(e)
+				args = jobArgs(e, args)
+			} else {
+				use(e.Rank, tid, "solve")
+			}
 			out.TraceEvents = append(out.TraceEvents, ChromeEvent{
 				Name: fmt.Sprintf("iteration %d", e.Iter), Ph: "i", Cat: "iter",
-				Ts: usToTs(e.T), Pid: e.Rank, Tid: TidSolve, S: "p",
-				Args: map[string]any{"iter": e.Iter},
+				Ts: usToTs(e.T), Pid: e.Rank, Tid: tid, S: "p",
+				Args: args,
 			})
 		case "solve":
-			use(e.Rank, TidSolve, "solve")
+			tid := TidSolve
+			args := map[string]any{"iter": e.Iter, "rnm2": e.Rnm2}
+			if e.Trace != "" {
+				tid = jobTid(e)
+				args = jobArgs(e, args)
+			} else {
+				use(e.Rank, tid, "solve")
+			}
 			out.TraceEvents = append(out.TraceEvents, ChromeEvent{
 				Name: "solve", Ph: "X", Cat: "solve",
 				Ts: spanStart(e.T, e.Nanos), Dur: usToTs(e.Nanos),
-				Pid: e.Rank, Tid: TidSolve,
-				Args: map[string]any{"iter": e.Iter, "rnm2": e.Rnm2},
+				Pid: e.Rank, Tid: tid,
+				Args: args,
 			})
 		case "level":
 			// The V-cycle depth counter: entering a level sets the gauge
 			// to that level, leaving it restores the parent (level+1).
-			use(e.Rank, TidSolve, "solve")
+			tid := TidSolve
+			if e.Trace != "" {
+				tid = jobTid(e)
+			} else {
+				use(e.Rank, tid, "solve")
+			}
 			val := e.Level
 			if e.Dir == "up" {
 				val = e.Level + 1
 			}
 			out.TraceEvents = append(out.TraceEvents, ChromeEvent{
 				Name: "vcycle level", Ph: "C",
-				Ts: usToTs(e.T), Pid: e.Rank, Tid: TidSolve,
+				Ts: usToTs(e.T), Pid: e.Rank, Tid: tid,
 				Args: map[string]any{"level": val},
 			})
 		case "plan":
 			tid := TidLevelBase + e.Level
+			args := map[string]any{"plan": e.Plan}
+			if e.Trace != "" {
+				tid = jobTid(e) + 1 + e.Level
+				args = jobArgs(e, args)
+			}
 			use(e.Rank, tid, fmt.Sprintf("level %d", e.Level))
 			out.TraceEvents = append(out.TraceEvents, ChromeEvent{
 				Name: "plan " + e.Kernel, Ph: "i", Cat: "tune",
 				Ts: usToTs(e.T), Pid: e.Rank, Tid: tid, S: "p",
-				Args: map[string]any{"plan": e.Plan},
+				Args: args,
 			})
 		}
 	}

@@ -1,0 +1,219 @@
+// The stage model of one service request, and its Prometheus
+// exposition. A job entering POST /v1/solve passes through a fixed
+// pipeline of stages, each bounded by a monotonic timestamp the queue
+// records:
+//
+//	ingress   submit entry → admission decision (parse/dedup/reject)
+//	queue     admission → a runner dequeues the job
+//	dedup     a coalesced submitter's attach → the shared job's terminal
+//	          transition (only submissions answered by another job's
+//	          execution observe this stage)
+//	solve     runner start → solver return
+//	respond   solver return → terminal result published to waiters
+//
+// The decomposition is what lets a slow job be attributed: a large
+// queue stage is backlog, a large dedup stage is a popular problem
+// already in flight, a large solve stage is the kernel itself.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+)
+
+// Stage names, in pipeline order.
+const (
+	StageIngress = "ingress"
+	StageQueue   = "queue"
+	StageDedup   = "dedup"
+	StageSolve   = "solve"
+	StageRespond = "respond"
+)
+
+// Stages lists the stage names in pipeline order.
+var Stages = []string{StageIngress, StageQueue, StageDedup, StageSolve, StageRespond}
+
+// JobRecord is the flight-record of one terminal job: identity, outcome
+// and the full stage decomposition. It is what the flight recorder
+// retains and what the stage histograms consume.
+type JobRecord struct {
+	// Seq is the recorder's admission counter, stamped by Add — it
+	// orders records across ring wraparound.
+	Seq uint64 `json:"seq"`
+	// TraceID/JobID/Tenant join the record to logs, traces and the API.
+	TraceID string `json:"traceId"`
+	JobID   string `json:"jobId"`
+	Tenant  string `json:"tenant,omitempty"`
+	// Class/Impl identify the problem.
+	Class string `json:"class,omitempty"`
+	Impl  string `json:"impl,omitempty"`
+	// State is the terminal state (done, failed, cancelled); Error the
+	// failure reason; NonFinite marks the poisoned-norm failure mode
+	// that triggers an anomaly dump.
+	State     string `json:"state"`
+	Error     string `json:"error,omitempty"`
+	NonFinite bool   `json:"nonFinite,omitempty"`
+	// SubmitUnixNano is the wall-clock submit time (the only wall stamp;
+	// stage durations are monotonic differences).
+	SubmitUnixNano int64 `json:"submitUnixNano"`
+	// The stage decomposition, in seconds.
+	IngressSeconds float64 `json:"ingressSeconds"`
+	QueueSeconds   float64 `json:"queueSeconds"`
+	SolveSeconds   float64 `json:"solveSeconds"`
+	RespondSeconds float64 `json:"respondSeconds"`
+	TotalSeconds   float64 `json:"totalSeconds"`
+	// DedupWaiters counts submissions that coalesced onto this job;
+	// DedupWaitSeconds holds each coalesced submitter's attach→terminal
+	// wait (the time the shared execution saved it).
+	DedupWaiters     int       `json:"dedupWaiters,omitempty"`
+	DedupWaitSeconds []float64 `json:"dedupWaitSeconds,omitempty"`
+	// QueueDepth/Running are the queue gauges at the terminal
+	// transition — the congestion context of the record.
+	QueueDepth int `json:"queueDepth"`
+	Running    int `json:"running"`
+	// Rnm2 is the final residual norm of a successful solve.
+	Rnm2 float64 `json:"rnm2,omitempty"`
+	// Cached marks records synthesized for cache hits (no solve ran).
+	Cached bool `json:"cached,omitempty"`
+}
+
+// StageBuckets are the mgd_stage_seconds histogram bucket bounds, in
+// seconds: sub-millisecond ingress/respond hops through multi-minute
+// class-C solves.
+var StageBuckets = []float64{
+	0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
+	0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30, 60, 120, 300,
+}
+
+// histKey labels one histogram series.
+type histKey struct {
+	stage  string
+	status string
+}
+
+// hist is one cumulative histogram.
+type hist struct {
+	buckets []uint64 // one count per StageBuckets bound; +Inf is count
+	sum     float64
+	count   uint64
+}
+
+// StageHist is the per-(stage, terminal-status) latency histogram set
+// behind the daemon's mgd_stage_seconds metric. Safe for concurrent
+// use; a nil *StageHist drops observations for free.
+type StageHist struct {
+	mu     sync.Mutex
+	series map[histKey]*hist
+}
+
+// NewStageHist builds an empty histogram set.
+func NewStageHist() *StageHist {
+	return &StageHist{series: make(map[histKey]*hist)}
+}
+
+// Observe records one stage duration under the job's terminal status.
+func (h *StageHist) Observe(stage, status string, seconds float64) {
+	if h == nil {
+		return
+	}
+	key := histKey{stage: stage, status: status}
+	h.mu.Lock()
+	s := h.series[key]
+	if s == nil {
+		s = &hist{buckets: make([]uint64, len(StageBuckets))}
+		h.series[key] = s
+	}
+	for i, bound := range StageBuckets {
+		if seconds <= bound {
+			s.buckets[i]++
+		}
+	}
+	s.sum += seconds
+	s.count++
+	h.mu.Unlock()
+}
+
+// ObserveJob records a terminal job's full stage decomposition: every
+// stage the job passed through, labelled with its terminal state. The
+// dedup stage is observed once per coalesced waiter (their wait is the
+// time the shared execution saved them).
+func (h *StageHist) ObserveJob(rec JobRecord) {
+	if h == nil {
+		return
+	}
+	h.Observe(StageIngress, rec.State, rec.IngressSeconds)
+	if !rec.Cached {
+		h.Observe(StageQueue, rec.State, rec.QueueSeconds)
+		h.Observe(StageSolve, rec.State, rec.SolveSeconds)
+		h.Observe(StageRespond, rec.State, rec.RespondSeconds)
+	}
+	for _, wait := range rec.DedupWaitSeconds {
+		h.Observe(StageDedup, rec.State, wait)
+	}
+}
+
+// Snapshot returns the current series as (stage, status) → (buckets,
+// sum, count) in deterministic order, for tests and JSON views.
+type StageSeries struct {
+	Stage   string   `json:"stage"`
+	Status  string   `json:"status"`
+	Buckets []uint64 `json:"buckets"`
+	Sum     float64  `json:"sum"`
+	Count   uint64   `json:"count"`
+}
+
+// Snapshot copies the histogram set.
+func (h *StageHist) Snapshot() []StageSeries {
+	if h == nil {
+		return nil
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := make([]StageSeries, 0, len(h.series))
+	for key, s := range h.series {
+		out = append(out, StageSeries{
+			Stage:   key.stage,
+			Status:  key.status,
+			Buckets: append([]uint64(nil), s.buckets...),
+			Sum:     s.sum,
+			Count:   s.count,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Stage != out[j].Stage {
+			return out[i].Stage < out[j].Stage
+		}
+		return out[i].Status < out[j].Status
+	})
+	return out
+}
+
+// WritePrometheus renders the histogram set in Prometheus text
+// exposition format as mgd_stage_seconds — the request-latency rows of
+// the daemon's /metrics endpoint. Nil-safe (writes nothing).
+func (h *StageHist) WritePrometheus(w io.Writer) {
+	series := h.Snapshot()
+	if len(series) == 0 {
+		return
+	}
+	fmt.Fprintf(w, "# HELP mgd_stage_seconds Per-stage request latency by terminal status.\n")
+	fmt.Fprintf(w, "# TYPE mgd_stage_seconds histogram\n")
+	for _, s := range series {
+		for i, bound := range StageBuckets {
+			fmt.Fprintf(w, "mgd_stage_seconds_bucket{stage=%q,status=%q,le=%q} %d\n",
+				s.Stage, s.Status, formatBound(bound), s.Buckets[i])
+		}
+		fmt.Fprintf(w, "mgd_stage_seconds_bucket{stage=%q,status=%q,le=\"+Inf\"} %d\n",
+			s.Stage, s.Status, s.Count)
+		fmt.Fprintf(w, "mgd_stage_seconds_sum{stage=%q,status=%q} %g\n", s.Stage, s.Status, s.Sum)
+		fmt.Fprintf(w, "mgd_stage_seconds_count{stage=%q,status=%q} %d\n", s.Stage, s.Status, s.Count)
+	}
+}
+
+// formatBound renders a bucket bound the way Prometheus clients expect
+// (no trailing zeros, no scientific notation for these magnitudes).
+func formatBound(v float64) string {
+	return fmt.Sprintf("%g", v)
+}
