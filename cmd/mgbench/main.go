@@ -42,6 +42,13 @@
 //	go build -o mgrank ./cmd/mgrank
 //	mgbench -fig dist -mgrank ./mgrank -classes S,W -ranks 4
 //
+// -fig comm is the distributed-observability experiment (FW-3c in
+// EXPERIMENTS.md): the same multi-process run with per-rank tracing on,
+// merged into a clock-aligned Perfetto timeline and a skew/overlap
+// report, with the pairing and blocked-time-attribution gates enforced:
+//
+//	mgbench -fig comm -mgrank ./mgrank -classes S -ranks 4 -commout comm-artifacts
+//
 // The performance regression lab lives under -fig perf: repeated-sample
 // benchmark snapshots (internal/perfstat statistics over the
 // internal/metrics per-kernel attribution) saved as versioned JSON
@@ -83,7 +90,7 @@ import (
 
 func main() {
 	var (
-		fig         = flag.String("fig", "all", "figure to regenerate: 11, 12, 13, mpi, dist, codesize, tune, perf, health, service or all")
+		fig         = flag.String("fig", "all", "figure to regenerate: 11, 12, 13, mpi, dist, comm, codesize, tune, perf, health, service or all")
 		classes     = flag.String("classes", "S,W", "comma-separated size classes (paper: W,A)")
 		repeats     = flag.Int("repeats", 3, "repetitions per Fig. 11 measurement (best reported)")
 		procs       = flag.Int("procs", 10, "simulated processor count for Figs. 12/13")
@@ -101,8 +108,9 @@ func main() {
 		alpha       = flag.Float64("alpha", 0.01, "-fig perf: Mann-Whitney significance level of the regression test")
 		samples     = flag.Int("samples", 10, "-fig perf: recorded solves per (implementation, class)")
 		warmup      = flag.Int("warmup", 2, "-fig perf: discarded warm-up solves per (implementation, class)")
-		mgrankBin   = flag.String("mgrank", "", "-fig dist: path to a built cmd/mgrank binary")
-		distRanks   = flag.Int("ranks", 4, "-fig dist: number of mgrank processes")
+		mgrankBin   = flag.String("mgrank", "", "-fig dist/comm: path to a built cmd/mgrank binary")
+		distRanks   = flag.Int("ranks", 4, "-fig dist/comm: number of mgrank processes")
+		commOut     = flag.String("commout", "comm-artifacts", "-fig comm: directory for the per-rank traces, merged Perfetto timeline and comm report")
 		variant     = flag.String("variant", "", "force the SAC plane-kernel backend: scalar, buffered or simd (default: per-level autotuner choice)")
 	)
 	flag.Parse()
@@ -245,6 +253,17 @@ func main() {
 		if err := harness.RunFigDist(out, *mgrankBin, classList, *distRanks); err != nil {
 			fmt.Fprintln(os.Stderr, "mgbench:", err)
 			os.Exit(1)
+		}
+	case "comm":
+		if *mgrankBin == "" {
+			fmt.Fprintln(os.Stderr, "mgbench: -fig comm needs -mgrank with a built cmd/mgrank binary")
+			os.Exit(2)
+		}
+		for _, class := range classList {
+			if _, err := harness.RunFigComm(out, *mgrankBin, class, *distRanks, *commOut); err != nil {
+				fmt.Fprintln(os.Stderr, "mgbench:", err)
+				os.Exit(1)
+			}
 		}
 	case "codesize":
 		if _, err := harness.RunCodeSize(out, *repo); err != nil {

@@ -25,6 +25,15 @@
 // -die-after-iter kills this rank abruptly (exit 3, sockets torn down
 // by the kernel) after the given V-cycle iteration, for fault-injection
 // tests.
+//
+// Observability (DESIGN.md §3.5): -trace FILE writes this rank's
+// JSON-lines event stream — kernel spans plus one pairable send/recv
+// event per transport call, anchored by a "hello" event emitted the
+// moment the mesh bootstrap completes, which seeds mgtrace's clock
+// alignment. Merge the per-rank files with `mgtrace rank*.jsonl` (or
+// -perfetto / -commreport). -metrics-addr serves the transport's
+// per-peer counters as a Prometheus /metrics endpoint, announced on
+// stdout as MGRANK METRICS <host:port>.
 package main
 
 import (
@@ -33,16 +42,22 @@ import (
 	"fmt"
 	"log/slog"
 	"math"
+	"net"
+	"net/http"
 	"os"
 	"time"
 
+	"repro/internal/metrics"
 	"repro/internal/mgmpi"
+	"repro/internal/mpi"
 	"repro/internal/mpinet"
 	"repro/internal/nas"
 	"repro/internal/obs"
 )
 
-// result is the -json report, one object per rank.
+// result is the -json report, one object per rank: the solve verdict
+// plus the full mpi.Stats breakdown, including the per-(peer, tag) rows
+// and the blocked-time / queue-depth histograms (power-of-two buckets).
 type result struct {
 	Rank          int     `json:"rank"`
 	Ranks         int     `json:"np"`
@@ -56,6 +71,10 @@ type result struct {
 	Bytes         uint64  `json:"bytes"`
 	WireBytes     uint64  `json:"wireBytes"`
 	ExchangeNanos int64   `json:"exchangeNanos"`
+
+	Peers          []mpi.PeerStat `json:"peers,omitempty"`
+	BlockedHist    mpi.Hist       `json:"blockedHist,omitempty"`
+	QueueDepthHist mpi.Hist       `json:"queueDepthHist,omitempty"`
 }
 
 func main() {
@@ -71,6 +90,8 @@ func main() {
 		backoff      = flag.Duration("backoff", 250*time.Millisecond, "pause between dial attempts")
 		dieAfterIter = flag.Int("die-after-iter", 0, "fault injection: exit(3) abruptly after this V-cycle iteration (0 = never)")
 		logFormat    = flag.String("log-format", "text", "structured log format for stderr diagnostics: text or json")
+		tracePath    = flag.String("trace", "", "write this rank's JSON-lines trace (spans + pairable send/recv events) to this file")
+		metricsAddr  = flag.String("metrics-addr", "", "serve the transport's per-peer counters as Prometheus text on this address's /metrics")
 	)
 	flag.Parse()
 
@@ -129,10 +150,49 @@ func main() {
 	}
 	defer transport.Close()
 
+	// The tracer is created the moment the mesh bootstrap completes, and
+	// the "hello" anchor is its first event: every rank's hello marks
+	// (nearly) the same wall instant, which is the coarse clock alignment
+	// mgtrace falls back on when paired traffic is missing.
+	var tracer *metrics.Tracer
+	if *tracePath != "" {
+		tf, err := os.Create(*tracePath)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		defer tf.Close()
+		tracer = metrics.NewTracer(tf)
+		defer tracer.Close()
+		tracer.Emit(metrics.Event{Ev: "hello", Rank: *rank})
+	}
+
+	if *metricsAddr != "" {
+		ln, err := net.Listen("tcp", *metricsAddr)
+		if err != nil {
+			fatalf("metrics listener: %v", err)
+		}
+		// Announced like the rendezvous address, so launchers can scrape
+		// an ephemeral :0 port.
+		fmt.Printf("MGRANK METRICS %s\n", ln.Addr())
+		os.Stdout.Sync()
+		mux := http.NewServeMux()
+		mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+			st := transport.Stats() // safe concurrently with the solve
+			if err := st.WritePrometheus(w, *rank); err != nil {
+				logger.Error("metrics scrape failed", "err", err)
+			}
+		})
+		srv := &http.Server{Handler: mux}
+		defer srv.Close()
+		go srv.Serve(ln)
+	}
+
 	solver, err := mgmpi.NewWithTransport(class, transport)
 	if err != nil {
 		fatalf("%v", err)
 	}
+	solver.Trace = tracer
 	if *dieAfterIter > 0 {
 		solver.OnIter = func(rank, iter int) {
 			if iter == *dieAfterIter {
@@ -162,8 +222,14 @@ func main() {
 		// Close before exiting so the queued abort relay (naming the
 		// dead rank) reaches the surviving peers — os.Exit would drop
 		// it on the floor and they would only see this process's EOF.
+		// The tracer flushes first: the partial trace is still pairable
+		// up to the failure point (and mgtrace tolerates a torn tail).
+		tracer.Close()
 		transport.Close()
 		fatalf("rank %d: solve failed: %v", *rank, err)
+	}
+	if err := tracer.Close(); err != nil {
+		fatalf("rank %d: trace write failed: %v", *rank, err)
 	}
 
 	verified, known := class.Verify(rnm2)
@@ -176,6 +242,7 @@ func main() {
 			Verified: ok, Seconds: seconds,
 			Messages: st.Messages, Bytes: st.Bytes,
 			WireBytes: st.WireBytes, ExchangeNanos: st.ExchangeNanos,
+			Peers: st.Peers, BlockedHist: st.BlockedHist, QueueDepthHist: st.QueueDepthHist,
 		})
 	} else {
 		verdict := "VERIFICATION FAILED"

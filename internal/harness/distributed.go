@@ -8,11 +8,15 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"os"
 	"os/exec"
+	"path/filepath"
 	"strings"
 	"time"
 
+	"repro/internal/metrics"
 	"repro/internal/mgmpi"
+	"repro/internal/mpi"
 	"repro/internal/nas"
 )
 
@@ -45,7 +49,8 @@ type DistRank struct {
 	Result *DistResult
 }
 
-// DistResult mirrors cmd/mgrank's -json object.
+// DistResult mirrors cmd/mgrank's -json object, including the per-peer
+// communication breakdown and histograms.
 type DistResult struct {
 	Rank          int     `json:"rank"`
 	Ranks         int     `json:"np"`
@@ -59,6 +64,10 @@ type DistResult struct {
 	Bytes         uint64  `json:"bytes"`
 	WireBytes     uint64  `json:"wireBytes"`
 	ExchangeNanos int64   `json:"exchangeNanos"`
+
+	Peers          []mpi.PeerStat `json:"peers,omitempty"`
+	BlockedHist    mpi.Hist       `json:"blockedHist,omitempty"`
+	QueueDepthHist mpi.Hist       `json:"queueDepthHist,omitempty"`
 }
 
 // RunDistributed launches cfg.Ranks mgrank processes on localhost —
@@ -250,4 +259,134 @@ func RunFigDist(w io.Writer, binary string, classes []nas.Class, ranks int) erro
 	fmt.Fprintf(w, "Message counts and payload volume match by construction (same algorithm, same\n")
 	fmt.Fprintf(w, "decomposition); TCP additionally pays 20 bytes of framing per message.\n\n")
 	return nil
+}
+
+// RunFigComm is the FW-3c distributed-observability experiment
+// (EXPERIMENTS.md): a traced multi-process TCP solve whose per-rank
+// trace files are merged, clock-aligned and analysed. It writes four
+// artifacts into outDir —
+//
+//	rank<N>.jsonl   each rank's raw trace
+//	merged.jsonl    their concatenation (mgtrace's input)
+//	trace.json      the clock-aligned Perfetto timeline with flow arrows
+//	commreport.txt  the skew/overlap report
+//
+// — and enforces the acceptance gates: the solve stays bit-identical to
+// the channel transport with tracing enabled, every send event pairs
+// with exactly one recv (matched count == total transport sends), every
+// rank's traced blocked time agrees with its transport ExchangeNanos to
+// within 5%, and the aligned Perfetto trace validates.
+func RunFigComm(w io.Writer, binary string, class nas.Class, ranks int, outDir string) (metrics.CommReport, error) {
+	var rep metrics.CommReport
+	if err := os.MkdirAll(outDir, 0o755); err != nil {
+		return rep, err
+	}
+	tracePath := func(rank int) string {
+		return filepath.Join(outDir, fmt.Sprintf("rank%d.jsonl", rank))
+	}
+	fmt.Fprintf(w, "Distributed observability (FW-3c) — class %c, %d TCP ranks, tracing enabled\n",
+		class.Name, ranks)
+	results, err := CheckDistributed(DistConfig{
+		Binary: binary, Class: class, Ranks: ranks,
+		ExtraArgs: func(rank int) []string { return []string{"-trace", tracePath(rank)} },
+	})
+	if err != nil {
+		return rep, fmt.Errorf("traced distributed run: %w", err)
+	}
+	fmt.Fprintf(w, "solve verified on all ranks; rnm2 bit-identical to channel transport with tracing on\n")
+
+	// Merge the per-rank streams: tolerant per-file reads (a healthy run
+	// has no torn tails, but the reader is the same one mgtrace uses),
+	// concatenated into one stream for the analysis passes and re-written
+	// as merged.jsonl for offline use.
+	var events []metrics.Event
+	merged, err := os.Create(filepath.Join(outDir, "merged.jsonl"))
+	if err != nil {
+		return rep, err
+	}
+	defer merged.Close()
+	menc := json.NewEncoder(merged)
+	for rank := 0; rank < ranks; rank++ {
+		f, err := os.Open(tracePath(rank))
+		if err != nil {
+			return rep, err
+		}
+		evs, torn, err := metrics.ReadEventsTolerant(f)
+		f.Close()
+		if err != nil {
+			return rep, fmt.Errorf("rank %d trace: %w", rank, err)
+		}
+		if torn > 0 {
+			return rep, fmt.Errorf("rank %d trace: %d torn trailing line(s) in a run that exited cleanly", rank, torn)
+		}
+		for _, e := range evs {
+			if err := menc.Encode(e); err != nil {
+				return rep, err
+			}
+		}
+		events = append(events, evs...)
+	}
+
+	rep = metrics.BuildCommReport(events)
+	var totalSends uint64
+	for _, r := range results {
+		totalSends += r.Result.Messages
+	}
+	if unmatched := rep.UnmatchedSends + rep.UnmatchedRecvs; unmatched > 0 {
+		return rep, fmt.Errorf("%d unmatched send/recv pair(s)", unmatched)
+	}
+	if uint64(rep.Matched) != totalSends {
+		return rep, fmt.Errorf("matched %d pairs but the transports counted %d sends", rep.Matched, totalSends)
+	}
+	fmt.Fprintf(w, "matched %d send/recv pairs == %d transport sends; 0 unmatched\n", rep.Matched, totalSends)
+
+	// Per-rank attribution gate: the traced blocked time (observer spans)
+	// must agree with the transport's own ExchangeNanos within 5% — the
+	// two clocks bracket the same Send/Recv calls.
+	blockedByRank := map[int]int64{}
+	for _, l := range rep.Levels {
+		blockedByRank[l.Rank] += l.BlockedNanos
+	}
+	for _, r := range results {
+		traced, wire := blockedByRank[r.Rank], r.Result.ExchangeNanos
+		diff := traced - wire
+		if diff < 0 {
+			diff = -diff
+		}
+		if wire > 0 && float64(diff) > 0.05*float64(wire) {
+			return rep, fmt.Errorf("rank %d: traced blocked time %d ns vs transport ExchangeNanos %d ns (>5%% apart)",
+				r.Rank, traced, wire)
+		}
+		fmt.Fprintf(w, "rank %d blocked-time attribution: traced %.3f ms vs transport %.3f ms (within 5%%)\n",
+			r.Rank, float64(traced)/1e6, float64(wire)/1e6)
+	}
+
+	ct := metrics.ChromeTraceAligned(events, metrics.OffsetMap(rep.Offsets))
+	if err := ct.Validate(); err != nil {
+		return rep, fmt.Errorf("aligned Perfetto trace invalid: %w", err)
+	}
+	pf, err := os.Create(filepath.Join(outDir, "trace.json"))
+	if err != nil {
+		return rep, err
+	}
+	enc := json.NewEncoder(pf)
+	enc.SetIndent("", " ")
+	if err := enc.Encode(ct); err != nil {
+		pf.Close()
+		return rep, err
+	}
+	if err := pf.Close(); err != nil {
+		return rep, err
+	}
+
+	rf, err := os.Create(filepath.Join(outDir, "commreport.txt"))
+	if err != nil {
+		return rep, err
+	}
+	rep.WriteText(io.MultiWriter(w, rf))
+	if err := rf.Close(); err != nil {
+		return rep, err
+	}
+	fmt.Fprintf(w, "artifacts in %s: rank*.jsonl, merged.jsonl, trace.json (Perfetto), commreport.txt\n\n", outDir)
+	return rep, nil
 }

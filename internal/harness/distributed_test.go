@@ -2,12 +2,15 @@ package harness
 
 import (
 	"fmt"
+	"io"
+	"os"
 	"os/exec"
 	"path/filepath"
 	"strings"
 	"testing"
 	"time"
 
+	"repro/internal/metrics"
 	"repro/internal/nas"
 )
 
@@ -47,6 +50,100 @@ func TestRunDistributed(t *testing.T) {
 			t.Errorf("rank %d wire bytes %d should exceed payload %d (framing)",
 				r.Rank, r.Result.WireBytes, r.Result.Bytes)
 		}
+		// The per-peer breakdown must decompose the aggregates exactly:
+		// sent messages sum to the rank's Messages counter.
+		if len(r.Result.Peers) == 0 || len(r.Result.BlockedHist) == 0 {
+			t.Errorf("rank %d -json report lacks the per-peer breakdown", r.Rank)
+			continue
+		}
+		var sent uint64
+		for _, p := range r.Result.Peers {
+			sent += p.SentMsgs
+		}
+		if sent != r.Result.Messages {
+			t.Errorf("rank %d per-peer sent %d != Messages %d", r.Rank, sent, r.Result.Messages)
+		}
+	}
+}
+
+// TestRunFigComm is the distributed-observability acceptance test
+// (FW-3c): a traced 4-rank class-S TCP solve, merged and analysed. The
+// pairing gate (matched == transport sends), the 5% blocked-time
+// attribution gate and the Perfetto validation run inside RunFigComm;
+// this test additionally checks the artifacts on disk, the CI grep
+// phrases, the straggler attribution and the estimator's antisymmetry
+// on the real (not synthetic) trace.
+func TestRunFigComm(t *testing.T) {
+	bin := buildMgrank(t)
+	dir := t.TempDir()
+	rep, err := RunFigComm(io.Discard, bin, nas.ClassS, 4, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Ranks != 4 || rep.Matched == 0 || rep.Iterations != nas.ClassS.Iter {
+		t.Fatalf("report ranks=%d matched=%d iters=%d", rep.Ranks, rep.Matched, rep.Iterations)
+	}
+	if len(rep.Iters) != nas.ClassS.Iter {
+		t.Fatalf("straggler attribution for %d iterations, want %d", len(rep.Iters), nas.ClassS.Iter)
+	}
+	for _, it := range rep.Iters {
+		if it.Straggler < 0 || it.Straggler > 3 {
+			t.Fatalf("iteration %d straggler %d out of range", it.Iter, it.Straggler)
+		}
+	}
+	if rep.OverlapEfficiency < 0 || rep.OverlapEfficiency > 1 {
+		t.Fatalf("overlap efficiency %g outside [0,1]", rep.OverlapEfficiency)
+	}
+
+	for _, name := range []string{"rank0.jsonl", "rank3.jsonl", "merged.jsonl", "trace.json", "commreport.txt"} {
+		if fi, err := os.Stat(filepath.Join(dir, name)); err != nil || fi.Size() == 0 {
+			t.Fatalf("artifact %s missing or empty (err %v)", name, err)
+		}
+	}
+	text, err := os.ReadFile(filepath.Join(dir, "commreport.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, phrase := range []string{"unmatched send/recv pairs: 0", "straggler rank"} {
+		if !strings.Contains(string(text), phrase) {
+			t.Fatalf("commreport.txt missing CI gate phrase %q:\n%s", phrase, text)
+		}
+	}
+
+	// Antisymmetry on the real trace: every exchanging rank pair's
+	// relative offset must negate exactly under swapping.
+	mf, err := os.Open(filepath.Join(dir, "merged.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mf.Close()
+	events, torn, err := metrics.ReadEventsTolerant(mf)
+	if err != nil || torn != 0 {
+		t.Fatalf("merged trace: torn=%d err=%v", torn, err)
+	}
+	pairs, us, ur := metrics.PairComms(events)
+	if len(us) != 0 || len(ur) != 0 {
+		t.Fatalf("unmatched in merged trace: %d sends, %d recvs", len(us), len(ur))
+	}
+	exchanged := 0
+	for a := 0; a < 4; a++ {
+		for b := a + 1; b < 4; b++ {
+			ab, nab := metrics.RelativeOffset(pairs, a, b)
+			ba, nba := metrics.RelativeOffset(pairs, b, a)
+			if nab != nba {
+				t.Fatalf("sample counts differ: rel(%d,%d) n=%d, rel(%d,%d) n=%d", a, b, nab, b, a, nba)
+			}
+			if nab == 0 {
+				continue
+			}
+			exchanged++
+			if ab != -ba {
+				t.Fatalf("rel(%d,%d)=%d not antisymmetric with rel(%d,%d)=%d", a, b, ab, b, a, ba)
+			}
+		}
+	}
+	if exchanged == 0 {
+		t.Fatal("no rank pair exchanged traffic")
 	}
 }
 

@@ -36,6 +36,16 @@ import (
 //	stage  one service-stage span of a daemon job (internal/jobq):
 //	       Stage = ingress | queue | dedup | solve | respond, taking
 //	       Nanos, always trace-tagged
+//	send   one transport send by Rank to Peer under Tag: Bytes of
+//	       payload, the Seq-th message on that (rank, peer, tag)
+//	       stream, Nanos inside the Send call, at grid Level during
+//	       iteration Iter (internal/mgmpi with tracing enabled)
+//	recv   the matching receive on the other side, same tags; a merged
+//	       multi-rank trace pairs each send with exactly one recv by
+//	       (src, dst, tag, seq) — per-pair FIFO makes Seq line up
+//	hello  a per-rank epoch anchor emitted right after the transport
+//	       bootstrap completes (cmd/mgrank -trace), the coarse clock
+//	       alignment that seeds the offset estimator in commtrace.go
 //
 // Rank tags the emitting simulated-MPI rank (internal/mgmpi); it is 0 —
 // and omitted — for single-process runs, so traces from several ranks
@@ -63,6 +73,14 @@ type Event struct {
 	Rank   int     `json:"rank,omitempty"`
 	// Stage names the service stage of a "stage" event.
 	Stage string `json:"stage,omitempty"`
+	// Peer/Tag/Bytes/Seq describe one message of a send/recv event pair.
+	// All four omit their zero values safely: tags start at 1, Seq 0 is
+	// the first message of its stream, and a zero-byte payload is a
+	// zero-length slice either way.
+	Peer  int    `json:"peer,omitempty"`
+	Tag   int    `json:"tag,omitempty"`
+	Bytes int64  `json:"bytes,omitempty"`
+	Seq   uint64 `json:"seq,omitempty"`
 	// Trace/Job are the request-scoped tags of a daemon job's events.
 	Trace string `json:"trace,omitempty"`
 	Job   string `json:"job,omitempty"`

@@ -15,6 +15,10 @@
 //	tid 1+level         one track per grid level carrying that level's
 //	                    region spans (resid, smooth, fine2coarse,
 //	                    coarse2fine) and tuner plan instants
+//	tid 500+level       one communication track per grid level carrying
+//	                    the rank's send/recv blocked spans; flow arrows
+//	                    ("s"/"f" events at the span midpoints) connect
+//	                    each matched send to its recv across processes
 //	tid 1000+worker     one track per scheduler worker carrying its
 //	                    "wspan" busy slices
 //	tid 2000+100·j      one block of tracks per daemon job (events
@@ -64,6 +68,42 @@ func ReadEvents(r io.Reader) ([]Event, error) {
 		return nil, err
 	}
 	return events, nil
+}
+
+// ReadEventsTolerant parses like ReadEvents but forgives a torn trailing
+// write — the signature of a rank killed mid-line, which leaves a
+// truncated JSON object at the very end of its file. Malformed lines
+// with no valid event after them are skipped and counted; a malformed
+// line followed by more valid data still aborts, because that is
+// corruption, not a torn tail.
+func ReadEventsTolerant(r io.Reader) (events []Event, torn int, err error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	lineNo := 0
+	var tornErr error
+	for sc.Scan() {
+		lineNo++
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var e Event
+		if uerr := json.Unmarshal(line, &e); uerr != nil {
+			torn++
+			if tornErr == nil {
+				tornErr = fmt.Errorf("metrics: trace line %d: %w", lineNo, uerr)
+			}
+			continue
+		}
+		if torn > 0 {
+			return nil, 0, fmt.Errorf("metrics: trace line %d: valid event after malformed line (%v)", lineNo, tornErr)
+		}
+		events = append(events, e)
+	}
+	if serr := sc.Err(); serr != nil {
+		return nil, 0, serr
+	}
+	return events, torn, nil
 }
 
 // SpanStat aggregates the "span" events of one (rank, kernel, level).
@@ -294,7 +334,11 @@ type ChromeEvent struct {
 	Tid int     `json:"tid"`
 	Cat string  `json:"cat,omitempty"`
 	// S is the instant scope ("p" = process).
-	S    string         `json:"s,omitempty"`
+	S string `json:"s,omitempty"`
+	// Id links the "s"/"f" halves of one flow arrow; Bp "e" binds the
+	// finish to the enclosing slice (the trace-event flow convention).
+	Id   string         `json:"id,omitempty"`
+	Bp   string         `json:"bp,omitempty"`
 	Args map[string]any `json:"args,omitempty"`
 }
 
@@ -311,6 +355,9 @@ const (
 	TidSolve = 0
 	// TidLevelBase + level is the grid-level track.
 	TidLevelBase = 1
+	// TidCommBase + level is the per-level communication track carrying
+	// send/recv blocked spans and the endpoints of their flow arrows.
+	TidCommBase = 500
 	// TidWorkerBase + worker is the scheduler-worker track.
 	TidWorkerBase = 1000
 	// TidJobBase + TidJobStride·job is the base track of one traced
@@ -326,6 +373,35 @@ const (
 // events. Span starts are reconstructed as T − Nanos (the tracer stamps
 // events when they end).
 func ChromeTraceFrom(events []Event) ChromeTrace {
+	return ChromeTraceAligned(events, nil)
+}
+
+// ChromeTraceAligned is ChromeTraceFrom with per-rank clock alignment:
+// each event's T is shifted by the rank's estimated offset (OffsetMap of
+// EstimateOffsets) and the merged stream is rebased so the earliest span
+// start lands at 0 — Perfetto then shows one coherent timeline instead
+// of per-rank epochs. Matched send/recv pairs additionally get flow
+// arrows ("s" at the send span's midpoint, "f" at the recv's) so each
+// message is a visible edge between its two processes. A nil or empty
+// offsets map applies no shift.
+func ChromeTraceAligned(events []Event, offsets map[int]int64) ChromeTrace {
+	if len(offsets) > 0 {
+		shifted := make([]Event, len(events))
+		copy(shifted, events)
+		var minStart int64
+		for i := range shifted {
+			shifted[i].T += offsets[shifted[i].Rank]
+			if start := shifted[i].T - shifted[i].Nanos; i == 0 || start < minStart {
+				minStart = start
+			}
+		}
+		if minStart < 0 {
+			for i := range shifted {
+				shifted[i].T -= minStart
+			}
+		}
+		events = shifted
+	}
 	out := ChromeTrace{DisplayTimeUnit: "ms", TraceEvents: []ChromeEvent{}}
 	type track struct{ pid, tid int }
 	named := map[track]string{}
@@ -473,7 +549,48 @@ func ChromeTraceFrom(events []Event) ChromeTrace {
 				Ts: usToTs(e.T), Pid: e.Rank, Tid: tid, S: "p",
 				Args: args,
 			})
+		case "send", "recv":
+			tid := TidCommBase + e.Level
+			use(e.Rank, tid, fmt.Sprintf("comm level %d", e.Level))
+			out.TraceEvents = append(out.TraceEvents, ChromeEvent{
+				Name: fmt.Sprintf("%s %d↔%d", e.Ev, e.Rank, e.Peer), Ph: "X", Cat: "comm",
+				Ts: spanStart(e.T, e.Nanos), Dur: usToTs(e.Nanos),
+				Pid: e.Rank, Tid: tid,
+				Args: map[string]any{
+					"peer": e.Peer, "tag": e.Tag, "bytes": e.Bytes,
+					"seq": e.Seq, "iter": e.Iter,
+				},
+			})
+		case "hello":
+			use(e.Rank, TidSolve, "solve")
+			out.TraceEvents = append(out.TraceEvents, ChromeEvent{
+				Name: "rendezvous", Ph: "i", Cat: "comm",
+				Ts: usToTs(e.T), Pid: e.Rank, Tid: TidSolve, S: "p",
+			})
 		}
+	}
+	// Flow arrows between the two halves of every matched exchange: one
+	// "s"/"f" pair sharing an id, anchored at the span midpoints. The
+	// finish is clamped to never precede its start — residual clock error
+	// on an aligned merge could otherwise invert an arrow, which renderers
+	// reject.
+	pairs, _, _ := PairComms(events)
+	for i, p := range pairs {
+		id := fmt.Sprintf("comm%d", i+1)
+		sTs := usToTs(p.SendEndNs - p.SendNanos/2)
+		fTs := usToTs(p.RecvEndNs - p.RecvNanos/2)
+		if sTs < 0 {
+			sTs = 0
+		}
+		if fTs < sTs {
+			fTs = sTs
+		}
+		out.TraceEvents = append(out.TraceEvents,
+			ChromeEvent{Name: "msg", Ph: "s", Cat: "comm", Id: id,
+				Ts: sTs, Pid: p.Src, Tid: TidCommBase + p.Level},
+			ChromeEvent{Name: "msg", Ph: "f", Bp: "e", Cat: "comm", Id: id,
+				Ts: fTs, Pid: p.Dst, Tid: TidCommBase + p.Level},
+		)
 	}
 	// Metadata: name each rank's process and every used track, in
 	// deterministic order.
@@ -544,6 +661,16 @@ func (t ChromeTrace) Validate() error {
 		case "M":
 			if _, ok := e.Args["name"]; !ok {
 				return where("metadata without args.name")
+			}
+		case "s", "f":
+			if e.Id == "" {
+				return where("flow event without id")
+			}
+			if e.Ts < 0 {
+				return where("negative ts %g", e.Ts)
+			}
+			if e.Ph == "f" && e.Bp != "" && e.Bp != "e" {
+				return where("bad flow binding point %q", e.Bp)
 			}
 		default:
 			return where("unknown phase")

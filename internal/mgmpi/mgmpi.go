@@ -33,6 +33,7 @@ package mgmpi
 import (
 	"fmt"
 	"math"
+	"math/bits"
 	"time"
 
 	"repro/internal/array"
@@ -65,11 +66,17 @@ type Solver struct {
 	// invoked on rank 0. Each intermediate report costs one collective
 	// norm reduction; the default nil adds no communication.
 	IterNorms func(iter int, rnm2, rnmu float64)
-	// Trace, when non-nil, receives rank-tagged V-cycle events: one
-	// "resid"/"mg3P" span per rank per phase (Rank identifies the
-	// emitter, so a multi-rank run becomes one Perfetto process per
-	// rank), plus iteration markers and the whole-solve summary from
-	// rank 0. The tracer is safe for the ranks' concurrent emits.
+	// Trace, when non-nil, receives rank-tagged V-cycle events: the
+	// "resid"/"mg3P" phase spans per rank, per-level kernel spans
+	// (resid/smooth/fine2coarse/coarse2fine) inside the V-cycle, one
+	// "send"/"recv" event per point-to-point message (peer, tag, level,
+	// iteration, bytes and per-stream sequence number — enough for
+	// cmd/mgtrace to pair both sides of every exchange across ranks),
+	// plus iteration markers and the whole-solve summary from rank 0.
+	// Rank identifies the emitter, so a multi-rank run becomes one
+	// Perfetto process per rank. The tracer is safe for the ranks'
+	// concurrent emits; tracing never changes the arithmetic (rnm2
+	// stays bit-identical, asserted by tests).
 	Trace *metrics.Tracer
 	// OnIter, when non-nil, is invoked on every rank after each completed
 	// V-cycle iteration (1-based), before any intermediate norm
@@ -183,7 +190,23 @@ func (s *Solver) RunRank() (rnm2, rnmu float64) {
 // runRank is the per-rank benchmark body, identical under both modes.
 func (s *Solver) runRank(c *mpi.Comm) (rnm2, rnmu float64) {
 	rank := c.Rank()
+	var obs *commObserver
+	if s.Trace != nil {
+		// Interpose the trace observer between the solver and the
+		// transport: every Send/Recv below emits a pairable event. The
+		// untraced path keeps the bare transport — no wrapper, no cost.
+		obs = newCommObserver(c.Transport(), s.Trace)
+		c = mpi.NewComm(obs)
+	}
 	st := newRankState(c, s.Class, s.Procs)
+	st.obs = obs
+	if s.Trace != nil {
+		tr := s.Trace
+		st.spanFn = func(kernel string, level int, nanos int64) {
+			tr.Emit(metrics.Event{Ev: "span", Kernel: kernel, Level: level,
+				Nanos: nanos, Rank: rank})
+		}
+	}
 	st.reset()
 	start := time.Now()
 	s.span(rank, "resid", st.evalResid)
@@ -203,6 +226,9 @@ func (s *Solver) runRank(c *mpi.Comm) (rnm2, rnmu float64) {
 	for it := 0; it < s.Class.Iter; it++ {
 		if rank == 0 && s.Trace != nil {
 			s.Trace.Emit(metrics.Event{Ev: "iter", Iter: it + 1, Level: s.Class.LT()})
+		}
+		if obs != nil {
+			obs.iter = it + 1
 		}
 		s.span(rank, "mg3P", st.mg3P)
 		s.span(rank, "resid", st.evalResid)
@@ -245,6 +271,32 @@ type rankState struct {
 	// serialComm redirects comm3 to serial plane copies while rank 0
 	// works on agglomerated full grids.
 	serialComm bool
+
+	// obs, when tracing, is the transport observer whose level/iter
+	// fields tag every send/recv event; spanFn emits per-level kernel
+	// spans. Both nil on the untraced path.
+	obs    *commObserver
+	spanFn func(kernel string, level int, nanos int64)
+}
+
+// setCommLevel tags subsequent send/recv events with the grid level the
+// messages belong to. No-op without a tracer.
+func (st *rankState) setCommLevel(level int) {
+	if st.obs != nil {
+		st.obs.level = level
+	}
+}
+
+// kspan times f and emits it as a per-level kernel span when tracing
+// (bare call otherwise).
+func (st *rankState) kspan(kernel string, level int, f func()) {
+	if st.spanFn == nil {
+		f()
+		return
+	}
+	start := time.Now()
+	f()
+	st.spanFn(kernel, level, int64(time.Since(start)))
 }
 
 func newRankState(c *mpi.Comm, class nas.Class, procs [3]int) *rankState {
@@ -364,6 +416,18 @@ func (st *rankState) comm3(a *array.Array) {
 	d := a.Data()
 	lp := [3]int{n0 - 2, n1 - 2, n2 - 2}
 
+	// Tag the halo messages below with the grid level, recovered from
+	// the box extent: a distributed axis owns global/procs cells, so the
+	// global extent is lp·procs = 2^level.
+	if st.obs != nil && !st.serialComm {
+		for x := 0; x < 3; x++ {
+			if st.procs[x] > 1 {
+				st.setCommLevel(bits.Len(uint(lp[x]*st.procs[x])) - 1)
+				break
+			}
+		}
+	}
+
 	// Per-axis data ranges (inclusive): already-processed axes span
 	// everything including halos; later axes interior only.
 	ranges := func(axis int) (lo, hi [3]int) {
@@ -441,6 +505,7 @@ func (st *rankState) rankBoxOf(level, r int) (lo, hi [3]int) {
 
 // gatherToRoot assembles a distributed level into rank 0's full grid.
 func (st *rankState) gatherToRoot(level int, box, full *array.Array) {
+	st.setCommLevel(level)
 	bs := box.Shape()
 	interiorLo := [3]int{1, 1, 1}
 	interiorHi := [3]int{bs[0] - 2, bs[1] - 2, bs[2] - 2}
@@ -462,6 +527,7 @@ func (st *rankState) gatherToRoot(level int, box, full *array.Array) {
 // scatterFromRoot distributes rank 0's full grid into the local boxes of
 // a distributed level (interior cells; halos are refreshed by comm3).
 func (st *rankState) scatterFromRoot(level int, full, box *array.Array) {
+	st.setCommLevel(level)
 	bs := box.Shape()
 	interiorLo := [3]int{1, 1, 1}
 	interiorHi := [3]int{bs[0] - 2, bs[1] - 2, bs[2] - 2}
@@ -484,6 +550,7 @@ func (st *rankState) broadcastFull(full *array.Array, level int) *array.Array {
 	if st.c.Size() == 1 {
 		return full
 	}
+	st.setCommLevel(level)
 	if st.c.Rank() == 0 {
 		st.c.Broadcast(tagBcast, 0, full.Data())
 		return full
@@ -696,10 +763,14 @@ func (st *rankState) reset() {
 }
 
 // mg3P is one V-cycle across the distributed and agglomerated levels.
+// With a tracer attached every kernel call is also emitted as a
+// per-level span (restrict at the target coarse level, prolong at the
+// target fine level, matching the single-process tracer's naming), so
+// the comm report can attribute compute vs blocked time per level.
 func (st *rankState) mg3P() {
 	lt, lcd := st.lt, st.lcd
 	for l := lt; l > lcd; l-- {
-		st.rprj3(st.r[l], st.r[l-1])
+		st.kspan("fine2coarse", l-1, func() { st.rprj3(st.r[l], st.r[l-1]) })
 	}
 	if lcd > 1 {
 		st.gatherToRoot(lcd, st.r[lcd], st.rFull[lcd])
@@ -708,28 +779,28 @@ func (st *rankState) mg3P() {
 		}
 		zFull := st.broadcastFull(st.uFull[lcd-1], lcd-1)
 		if lcd == lt {
-			st.boundaryInterp(zFull, st.u[lcd])
-			st.resid(st.u[lcd], st.v, st.r[lcd])
+			st.kspan("coarse2fine", lcd, func() { st.boundaryInterp(zFull, st.u[lcd]) })
+			st.kspan("resid", lcd, func() { st.resid(st.u[lcd], st.v, st.r[lcd]) })
 		} else {
 			st.u[lcd].Zero()
-			st.boundaryInterp(zFull, st.u[lcd])
-			st.resid(st.u[lcd], st.r[lcd], st.r[lcd])
+			st.kspan("coarse2fine", lcd, func() { st.boundaryInterp(zFull, st.u[lcd]) })
+			st.kspan("resid", lcd, func() { st.resid(st.u[lcd], st.r[lcd], st.r[lcd]) })
 		}
-		st.psinv(st.r[lcd], st.u[lcd])
+		st.kspan("smooth", lcd, func() { st.psinv(st.r[lcd], st.u[lcd]) })
 	} else {
 		st.u[1].Zero()
-		st.psinv(st.r[1], st.u[1])
+		st.kspan("smooth", 1, func() { st.psinv(st.r[1], st.u[1]) })
 	}
 	for l := lcd + 1; l <= lt-1; l++ {
 		st.u[l].Zero()
-		st.interpBox(st.u[l-1], st.u[l])
-		st.resid(st.u[l], st.r[l], st.r[l])
-		st.psinv(st.r[l], st.u[l])
+		st.kspan("coarse2fine", l, func() { st.interpBox(st.u[l-1], st.u[l]) })
+		st.kspan("resid", l, func() { st.resid(st.u[l], st.r[l], st.r[l]) })
+		st.kspan("smooth", l, func() { st.psinv(st.r[l], st.u[l]) })
 	}
 	if lt > lcd {
-		st.interpBox(st.u[lt-1], st.u[lt])
-		st.resid(st.u[lt], st.v, st.r[lt])
-		st.psinv(st.r[lt], st.u[lt])
+		st.kspan("coarse2fine", lt, func() { st.interpBox(st.u[lt-1], st.u[lt]) })
+		st.kspan("resid", lt, func() { st.resid(st.u[lt], st.v, st.r[lt]) })
+		st.kspan("smooth", lt, func() { st.psinv(st.r[lt], st.u[lt]) })
 	}
 }
 
@@ -739,15 +810,15 @@ func (st *rankState) serialDownUp() {
 	defer func() { st.serialComm = false }()
 	lcd := st.lcd
 	for l := lcd; l >= 2; l-- {
-		st.rprj3(st.rFull[l], st.rFull[l-1])
+		st.kspan("fine2coarse", l-1, func() { st.rprj3(st.rFull[l], st.rFull[l-1]) })
 	}
 	st.uFull[1].Zero()
-	st.psinv(st.rFull[1], st.uFull[1])
+	st.kspan("smooth", 1, func() { st.psinv(st.rFull[1], st.uFull[1]) })
 	for l := 2; l <= lcd-1; l++ {
 		st.uFull[l].Zero()
-		st.interpBox(st.uFull[l-1], st.uFull[l])
-		st.resid(st.uFull[l], st.rFull[l], st.rFull[l])
-		st.psinv(st.rFull[l], st.uFull[l])
+		st.kspan("coarse2fine", l, func() { st.interpBox(st.uFull[l-1], st.uFull[l]) })
+		st.kspan("resid", l, func() { st.resid(st.uFull[l], st.rFull[l], st.rFull[l]) })
+		st.kspan("smooth", l, func() { st.psinv(st.rFull[l], st.uFull[l]) })
 	}
 }
 
@@ -792,6 +863,7 @@ func (st *rankState) norms() (rnm2, rnmu float64) {
 	}
 	total := float64(st.class.N)
 	total = total * total * total
+	st.setCommLevel(st.lt)
 	if st.c.Size() == 1 {
 		var sum float64
 		for _, p := range planes {

@@ -243,16 +243,26 @@ func TestRankTaggedTrace(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ranks := map[int]int{}
+	spanKernels := map[string]bool{
+		"resid": true, "mg3P": true,
+		"smooth": true, "fine2coarse": true, "coarse2fine": true,
+	}
+	ranks := map[int]int{}    // phase spans (resid at LT outside kspan + mg3P)
+	perLevel := map[int]int{} // per-level kernel spans
 	var iters, solves int
 	var solveRnm2 float64
 	for _, e := range events {
 		switch e.Ev {
 		case "span":
-			if e.Kernel != "resid" && e.Kernel != "mg3P" {
+			if !spanKernels[e.Kernel] {
 				t.Fatalf("unexpected span kernel %q", e.Kernel)
 			}
-			ranks[e.Rank]++
+			if e.Kernel == "mg3P" || (e.Kernel == "resid" && e.Level == nas.ClassS.LT()) {
+				ranks[e.Rank]++
+			}
+			if e.Kernel != "mg3P" {
+				perLevel[e.Level]++
+			}
 		case "iter":
 			iters++
 		case "solve":
@@ -266,11 +276,18 @@ func TestRankTaggedTrace(t *testing.T) {
 	if len(ranks) != 4 {
 		t.Fatalf("spans from %d ranks, want 4: %v", len(ranks), ranks)
 	}
-	// Per rank: 1 initial resid + Iter × (mg3P + resid).
-	want := 1 + 2*nas.ClassS.Iter
+	// Per rank, phase spans at the finest level: 1 initial resid +
+	// Iter × (mg3P + final resid + the in-cycle finest resid kspan).
+	want := 1 + 3*nas.ClassS.Iter
 	for r, n := range ranks {
 		if n != want {
-			t.Fatalf("rank %d emitted %d spans, want %d", r, n, want)
+			t.Fatalf("rank %d emitted %d finest-level phase spans, want %d", r, n, want)
+		}
+	}
+	// The per-level kernel spans must cover every level of the hierarchy.
+	for l := 1; l <= nas.ClassS.LT(); l++ {
+		if perLevel[l] == 0 {
+			t.Fatalf("no kernel spans at level %d: %v", l, perLevel)
 		}
 	}
 	if iters != nas.ClassS.Iter || solves != 1 {
@@ -279,4 +296,133 @@ func TestRankTaggedTrace(t *testing.T) {
 	if solveRnm2 != rnm2 {
 		t.Fatalf("solve event rnm2 %.17e != returned %.17e", solveRnm2, rnm2)
 	}
+}
+
+// TestCommEventsMatchStats runs a traced 4-rank channel world and checks
+// the send/recv events against the transport's own counters: per rank,
+// send events equal Stats().Messages, and globally every send pairs with
+// exactly one recv under the (src, dst, tag, seq) key — the invariant
+// the distributed observability layer (DESIGN.md §3.5) rests on.
+func TestCommEventsMatchStats(t *testing.T) {
+	var buf bytes.Buffer
+	tr := metrics.NewTracer(&buf)
+	s := New(nas.ClassS, 4)
+	s.Trace = tr
+	rnm2, _ := s.Run()
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if verified, ok := nas.ClassS.Verify(rnm2); !ok || !verified {
+		t.Fatalf("traced run did not verify: rnm2 = %.13e", rnm2)
+	}
+	events, err := metrics.ReadEvents(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	type pairKey struct {
+		src, dst, tag int
+		seq           uint64
+	}
+	sendsByRank := map[int]uint64{}
+	recvsByRank := map[int]uint64{}
+	sends := map[pairKey]int{}
+	recvs := map[pairKey]int{}
+	for _, e := range events {
+		switch e.Ev {
+		case "send":
+			sendsByRank[e.Rank]++
+			sends[pairKey{e.Rank, e.Peer, e.Tag, e.Seq}]++
+			if e.Bytes <= 0 {
+				t.Fatalf("send event with %d bytes", e.Bytes)
+			}
+			if e.Level < 1 || e.Level > nas.ClassS.LT() {
+				t.Fatalf("send event at implausible level %d", e.Level)
+			}
+		case "recv":
+			recvsByRank[e.Rank]++
+			recvs[pairKey{e.Peer, e.Rank, e.Tag, e.Seq}]++
+		}
+	}
+	for rank, st := range s.RankStats() {
+		if sendsByRank[rank] != st.Messages {
+			t.Errorf("rank %d: %d send events != %d messages sent", rank, sendsByRank[rank], st.Messages)
+		}
+	}
+	if len(sends) == 0 {
+		t.Fatal("no send events in a 4-rank traced run")
+	}
+	for k, n := range sends {
+		if n != 1 {
+			t.Errorf("send key %+v seen %d times, want 1 (seq not unique)", k, n)
+		}
+		if recvs[k] != 1 {
+			t.Errorf("send %+v matched by %d recvs, want 1", k, recvs[k])
+		}
+	}
+	for k := range recvs {
+		if sends[k] != 1 {
+			t.Errorf("recv %+v has no matching send", k)
+		}
+	}
+}
+
+// TestTracedRunBitIdentical pins the acceptance requirement that
+// observability never perturbs the arithmetic: per-iteration rnm2 with a
+// tracer attached is bit-identical to the untraced run.
+func TestTracedRunBitIdentical(t *testing.T) {
+	collect := func(trace bool) []uint64 {
+		s := New(nas.ClassS, 4)
+		var tr *metrics.Tracer
+		if trace {
+			var buf bytes.Buffer
+			tr = metrics.NewTracer(&buf)
+			s.Trace = tr
+		}
+		var norms []uint64
+		s.IterNorms = func(iter int, rnm2, rnmu float64) {
+			norms = append(norms, math.Float64bits(rnm2))
+		}
+		rnm2, _ := s.Run()
+		norms = append(norms, math.Float64bits(rnm2))
+		if tr != nil {
+			tr.Close()
+		}
+		return norms
+	}
+	plain := collect(false)
+	traced := collect(true)
+	if len(plain) != len(traced) {
+		t.Fatalf("norm count mismatch: %d vs %d", len(plain), len(traced))
+	}
+	for i := range plain {
+		if plain[i] != traced[i] {
+			t.Fatalf("iter %d: traced rnm2 bits %016x != untraced %016x", i, traced[i], plain[i])
+		}
+	}
+}
+
+// TestDisabledObservabilityZeroAlloc pins the other half of the
+// acceptance criterion: with no tracer the span/level helpers are inert
+// — no observer, no closures reaching the heap, zero allocations.
+func TestDisabledObservabilityZeroAlloc(t *testing.T) {
+	st := &rankState{}
+	sink := 0
+	allocs := testing.AllocsPerRun(1000, func() {
+		st.setCommLevel(5)
+		st.kspan("resid", 5, func() { sink++ })
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled observability path allocates %.1f per op, want 0", allocs)
+	}
+}
+
+func BenchmarkDisabledObservability(b *testing.B) {
+	st := &rankState{}
+	sink := 0
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		st.setCommLevel(5)
+		st.kspan("resid", 5, func() { sink++ })
+	}
+	_ = sink
 }

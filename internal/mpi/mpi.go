@@ -47,6 +47,16 @@ type Stats struct {
 	// measurable exchange — while a real transport also pays framing and
 	// kernel time on every call.
 	ExchangeNanos int64
+
+	// Peers breaks the traffic down per (peer, tag): counts, bytes and
+	// blocked time in each direction, sorted by (peer, tag). The per-peer
+	// blocked nanos sum to ExchangeNanos (see Stats.BlockedNanos).
+	Peers []PeerStat `json:"peers,omitempty"`
+	// BlockedHist is a power-of-two histogram of per-call blocked
+	// nanoseconds; QueueDepthHist of the departure-queue depth seen at
+	// enqueue (mailbox fill here, the writer backlog in mpinet).
+	BlockedHist    Hist `json:"blockedHist,omitempty"`
+	QueueDepthHist Hist `json:"queueDepthHist,omitempty"`
 }
 
 // DefaultStall bounds how long a channel-transport Send may wait on a
@@ -66,6 +76,7 @@ type World struct {
 	size    int
 	mail    [][]chan message // mail[src][dst]
 	stats   []Stats
+	rec     []CommRecorder // per-rank (peer, tag) rows and histograms
 	barrier *barrier
 
 	aborted   chan struct{} // closed when any rank panics
@@ -90,6 +101,7 @@ func NewWorld(size int) *World {
 		size:    size,
 		mail:    make([][]chan message, size),
 		stats:   make([]Stats, size),
+		rec:     make([]CommRecorder, size),
 		barrier: newBarrier(size),
 		aborted: make(chan struct{}),
 	}
@@ -105,18 +117,29 @@ func NewWorld(size int) *World {
 // Size returns the number of ranks.
 func (w *World) Size() int { return w.size }
 
-// Stats returns a snapshot of every rank's traffic counters. Call after
-// Run has returned.
-func (w *World) Stats() []Stats { return append([]Stats(nil), w.stats...) }
+// Stats returns a snapshot of every rank's traffic counters, including
+// the per-(peer, tag) rows and histograms. Call after Run has returned.
+func (w *World) Stats() []Stats {
+	out := append([]Stats(nil), w.stats...)
+	for rank := range out {
+		w.rec[rank].SnapshotInto(&out[rank])
+	}
+	return out
+}
 
-// TotalStats sums the per-rank counters.
+// TotalStats sums the per-rank counters and merges the histograms; the
+// per-peer rows are folded with MergePeers, so the totals describe
+// world-wide volume per (peer, tag).
 func (w *World) TotalStats() Stats {
 	var t Stats
-	for _, s := range w.stats {
+	for _, s := range w.Stats() {
 		t.Messages += s.Messages
 		t.Bytes += s.Bytes
 		t.WireBytes += s.WireBytes
 		t.ExchangeNanos += s.ExchangeNanos
+		t.MergePeers(s.Peers)
+		t.BlockedHist.Merge(s.BlockedHist)
+		t.QueueDepthHist.Merge(s.QueueDepthHist)
 	}
 	return t
 }
@@ -195,8 +218,13 @@ type chanTransport struct {
 func (t *chanTransport) Rank() int { return t.rank }
 func (t *chanTransport) Size() int { return t.w.size }
 
-// Stats returns this rank's counters.
-func (t *chanTransport) Stats() Stats { return t.w.stats[t.rank] }
+// Stats returns this rank's counters, including the per-(peer, tag)
+// rows and histograms.
+func (t *chanTransport) Stats() Stats {
+	s := t.w.stats[t.rank]
+	t.w.rec[t.rank].SnapshotInto(&s)
+	return s
+}
 
 // Close is a no-op: the channel world owns no external resources.
 func (t *chanTransport) Close() error { return nil }
@@ -215,6 +243,8 @@ func (t *chanTransport) Send(dst, tag int, data []float64) error {
 	buf := make([]float64, len(data))
 	copy(buf, data)
 	m := message{tag: tag, data: buf}
+	depth := len(w.mail[t.rank][dst])
+	var blocked int64
 	select {
 	case w.mail[t.rank][dst] <- m:
 	default:
@@ -225,7 +255,8 @@ func (t *chanTransport) Send(dst, tag int, data []float64) error {
 		defer timer.Stop()
 		select {
 		case w.mail[t.rank][dst] <- m:
-			w.stats[t.rank].ExchangeNanos += int64(time.Since(start))
+			blocked = int64(time.Since(start))
+			w.stats[t.rank].ExchangeNanos += blocked
 		case <-w.aborted:
 			return fmt.Errorf("world aborted while blocked on a full mailbox (peer rank %d may be dead)", dst)
 		case <-timer.C:
@@ -235,6 +266,7 @@ func (t *chanTransport) Send(dst, tag int, data []float64) error {
 	}
 	w.stats[t.rank].Messages++
 	w.stats[t.rank].Bytes += uint64(len(data)) * 8
+	w.rec[t.rank].RecordSend(dst, tag, uint64(len(data))*8, blocked, depth)
 	return nil
 }
 
@@ -244,6 +276,7 @@ func (t *chanTransport) Recv(src, tag int) ([]float64, error) {
 		return nil, fmt.Errorf("invalid rank %d (world size %d)", src, w.size)
 	}
 	var m message
+	var blocked int64
 	select {
 	case m = <-w.mail[src][t.rank]:
 	default:
@@ -252,7 +285,8 @@ func (t *chanTransport) Recv(src, tag int) ([]float64, error) {
 		defer timer.Stop()
 		select {
 		case m = <-w.mail[src][t.rank]:
-			w.stats[t.rank].ExchangeNanos += int64(time.Since(start))
+			blocked = int64(time.Since(start))
+			w.stats[t.rank].ExchangeNanos += blocked
 		case <-w.aborted:
 			return nil, fmt.Errorf("world aborted while waiting (peer rank %d may be dead)", src)
 		case <-timer.C:
@@ -263,6 +297,7 @@ func (t *chanTransport) Recv(src, tag int) ([]float64, error) {
 	if m.tag != tag {
 		return nil, fmt.Errorf("expected tag %d, got tag %d", tag, m.tag)
 	}
+	w.rec[t.rank].RecordRecv(src, tag, uint64(len(m.data))*8, blocked)
 	return m.data, nil
 }
 

@@ -138,6 +138,63 @@ func TestMeshExchange(t *testing.T) {
 	}
 }
 
+// TestPeerStatsOverTCP checks that the TCP transport's per-(peer, tag)
+// rows agree with the aggregate counters, and that the per-peer blocked
+// time sums exactly to ExchangeNanos (mpinet counts full call durations
+// on both views, so the equality is exact).
+func TestPeerStatsOverTCP(t *testing.T) {
+	const size = 3
+	world := localWorld(t, size, nil)
+	var wg sync.WaitGroup
+	for _, tr := range world {
+		wg.Add(1)
+		go func(tr *Transport) {
+			defer wg.Done()
+			me := tr.Rank()
+			for dst := 0; dst < size; dst++ {
+				if dst != me {
+					tr.Send(dst, 7, make([]float64, 16))
+				}
+			}
+			for src := 0; src < size; src++ {
+				if src != me {
+					tr.Recv(src, 7)
+				}
+			}
+		}(tr)
+	}
+	wg.Wait()
+	for rank, tr := range world {
+		st := tr.Stats()
+		if len(st.Peers) != size-1 {
+			t.Fatalf("rank %d: %d peer rows, want %d: %+v", rank, len(st.Peers), size-1, st.Peers)
+		}
+		var sent, recv uint64
+		for _, p := range st.Peers {
+			if p.Tag != 7 {
+				t.Errorf("rank %d: unexpected tag %d", rank, p.Tag)
+			}
+			sent += p.SentMsgs
+			recv += p.RecvMsgs
+			if p.SentBytes != 16*8 || p.RecvBytes != 16*8 {
+				t.Errorf("rank %d peer %d: bytes %d/%d, want 128/128", rank, p.Peer, p.SentBytes, p.RecvBytes)
+			}
+		}
+		if sent != st.Messages || recv != st.Messages {
+			t.Errorf("rank %d: per-peer sent/recv %d/%d != Messages %d", rank, sent, recv, st.Messages)
+		}
+		if got := st.BlockedNanos(); got != st.ExchangeNanos {
+			t.Errorf("rank %d: per-peer blocked %d != ExchangeNanos %d", rank, got, st.ExchangeNanos)
+		}
+		if st.BlockedHist.Count() != 2*(size-1) {
+			t.Errorf("rank %d: blocked hist count %d, want %d", rank, st.BlockedHist.Count(), 2*(size-1))
+		}
+		if st.QueueDepthHist.Count() != size-1 {
+			t.Errorf("rank %d: depth hist count %d, want %d", rank, st.QueueDepthHist.Count(), size-1)
+		}
+	}
+}
+
 // TestConcurrentExchange is the -race target: every rank runs two
 // goroutines concurrently pushing traffic around the ring in opposite
 // directions on distinct tags, exercising the per-peer writer and

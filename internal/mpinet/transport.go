@@ -140,6 +140,7 @@ type Transport struct {
 
 	msgs, payloadBytes, wireBytes atomic.Uint64
 	exchangeNanos                 atomic.Int64
+	rec                           mpi.CommRecorder
 }
 
 var _ mpi.Transport = (*Transport)(nil)
@@ -184,14 +185,18 @@ func (t *Transport) Err() error {
 
 // Stats snapshots this rank's traffic counters: message and payload
 // counts like the channel runtime, plus the wire volume (payload +
-// framing) and the wall time spent inside Send/Recv.
+// framing), the wall time spent inside Send/Recv, and the per-(peer,
+// tag) rows with blocked-time and queue-depth histograms. Safe to call
+// concurrently with a solve (the Prometheus endpoint scrapes it live).
 func (t *Transport) Stats() mpi.Stats {
-	return mpi.Stats{
+	s := mpi.Stats{
 		Messages:      t.msgs.Load(),
 		Bytes:         t.payloadBytes.Load(),
 		WireBytes:     t.wireBytes.Load(),
 		ExchangeNanos: t.exchangeNanos.Load(),
 	}
+	t.rec.SnapshotInto(&s)
+	return s
 }
 
 // Send frames data and enqueues it on dst's writer. It blocks only when
@@ -203,6 +208,7 @@ func (t *Transport) Send(dst, tag int, data []float64) error {
 	start := time.Now()
 	frame := encodeFrame(t.rank, tag, data)
 	p := t.peers[dst]
+	depth := len(p.out)
 	select {
 	case p.out <- frame:
 	default:
@@ -218,10 +224,12 @@ func (t *Transport) Send(dst, tag int, data []float64) error {
 			return &TimeoutError{Peer: dst, Tag: tag, Op: "Send (writer queue full)", Wait: t.cfg.IOTimeout}
 		}
 	}
+	elapsed := int64(time.Since(start))
 	t.msgs.Add(1)
 	t.payloadBytes.Add(uint64(8 * len(data)))
 	t.wireBytes.Add(uint64(len(frame)))
-	t.exchangeNanos.Add(int64(time.Since(start)))
+	t.exchangeNanos.Add(elapsed)
+	t.rec.RecordSend(dst, tag, uint64(8*len(data)), elapsed, depth)
 	return nil
 }
 
@@ -260,7 +268,9 @@ func (t *Transport) Recv(src, tag int) ([]float64, error) {
 	if m.tag != tag {
 		return nil, fmt.Errorf("expected tag %d from rank %d, got tag %d", tag, src, m.tag)
 	}
-	t.exchangeNanos.Add(int64(time.Since(start)))
+	elapsed := int64(time.Since(start))
+	t.exchangeNanos.Add(elapsed)
+	t.rec.RecordRecv(src, tag, uint64(8*len(m.data)), elapsed)
 	return m.data, nil
 }
 
