@@ -77,6 +77,7 @@ func main() {
 		httpAddr   = flag.String("http", "", "serve expvar (/debug/vars, incl. mg.metrics), pprof and Prometheus /metrics on this address while running")
 		withHealth = flag.Bool("health", false, "monitor convergence health (sac only) and print the verdict")
 		variant    = flag.String("variant", "", "force the plane-kernel backend (sac only): scalar, buffered or simd (default: per-level autotuner choice)")
+		overlap    = flag.Bool("overlap", false, "mpi only: overlap the halo exchange with interior compute (nonblocking Isend/Irecv; -threads is the rank count)")
 	)
 	flag.Parse()
 
@@ -236,6 +237,7 @@ func main() {
 		env.Close()
 	case "mpi":
 		s := mgmpi.New(class, *threads)
+		s.Overlap = *overlap
 		s.Trace = o.tracer
 		start := time.Now()
 		rnm2, rnmu = s.Run()

@@ -49,6 +49,12 @@
 //
 //	mgbench -fig comm -mgrank ./mgrank -classes S -ranks 4 -commout comm-artifacts
 //
+// Both distributed figures accept -overlap, which runs the ranks with
+// the nonblocking overlapped halo exchange (mgrank -overlap); -fig comm
+// additionally prints one `overlap efficiency: <x>` summary line per
+// class, the number CI's overlap gate compares between the synchronous
+// and overlapped runs.
+//
 // The performance regression lab lives under -fig perf: repeated-sample
 // benchmark snapshots (internal/perfstat statistics over the
 // internal/metrics per-kernel attribution) saved as versioned JSON
@@ -111,6 +117,7 @@ func main() {
 		mgrankBin   = flag.String("mgrank", "", "-fig dist/comm: path to a built cmd/mgrank binary")
 		distRanks   = flag.Int("ranks", 4, "-fig dist/comm: number of mgrank processes")
 		commOut     = flag.String("commout", "comm-artifacts", "-fig comm: directory for the per-rank traces, merged Perfetto timeline and comm report")
+		distOverlap = flag.Bool("overlap", false, "-fig dist/comm: run the ranks with the nonblocking overlapped halo exchange (mgrank -overlap)")
 		variant     = flag.String("variant", "", "force the SAC plane-kernel backend: scalar, buffered or simd (default: per-level autotuner choice)")
 	)
 	flag.Parse()
@@ -250,7 +257,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, "mgbench: -fig dist needs -mgrank with a built cmd/mgrank binary")
 			os.Exit(2)
 		}
-		if err := harness.RunFigDist(out, *mgrankBin, classList, *distRanks); err != nil {
+		if err := harness.RunFigDist(out, *mgrankBin, classList, *distRanks, *distOverlap); err != nil {
 			fmt.Fprintln(os.Stderr, "mgbench:", err)
 			os.Exit(1)
 		}
@@ -260,10 +267,14 @@ func main() {
 			os.Exit(2)
 		}
 		for _, class := range classList {
-			if _, err := harness.RunFigComm(out, *mgrankBin, class, *distRanks, *commOut); err != nil {
+			rep, err := harness.RunFigComm(out, *mgrankBin, class, *distRanks, *distOverlap, *commOut)
+			if err != nil {
 				fmt.Fprintln(os.Stderr, "mgbench:", err)
 				os.Exit(1)
 			}
+			// One greppable summary line per class — the CI overlap gate
+			// compares this number between the sync and -overlap runs.
+			fmt.Fprintf(out, "overlap efficiency: %.3f\n", rep.OverlapEfficiency)
 		}
 	case "codesize":
 		if _, err := harness.RunCodeSize(out, *repo); err != nil {

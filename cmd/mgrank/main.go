@@ -62,6 +62,8 @@ type result struct {
 	Rank          int     `json:"rank"`
 	Ranks         int     `json:"np"`
 	Class         string  `json:"class"`
+	Overlap       bool    `json:"overlap,omitempty"`
+	Threads       int     `json:"threads,omitempty"`
 	Rnm2          float64 `json:"rnm2"`
 	Rnm2Bits      uint64  `json:"rnm2Bits"` // exact bit pattern, for differential checks
 	Rnmu          float64 `json:"rnmu"`
@@ -75,6 +77,16 @@ type result struct {
 	Peers          []mpi.PeerStat `json:"peers,omitempty"`
 	BlockedHist    mpi.Hist       `json:"blockedHist,omitempty"`
 	QueueDepthHist mpi.Hist       `json:"queueDepthHist,omitempty"`
+}
+
+// envBool reads an environment toggle: set and not one of "" / "0" /
+// "false" / "no" means on.
+func envBool(name string) bool {
+	switch os.Getenv(name) {
+	case "", "0", "false", "no":
+		return false
+	}
+	return true
 }
 
 func main() {
@@ -92,6 +104,8 @@ func main() {
 		logFormat    = flag.String("log-format", "text", "structured log format for stderr diagnostics: text or json")
 		tracePath    = flag.String("trace", "", "write this rank's JSON-lines trace (spans + pairable send/recv events) to this file")
 		metricsAddr  = flag.String("metrics-addr", "", "serve the transport's per-peer counters as Prometheus text on this address's /metrics")
+		overlap      = flag.Bool("overlap", envBool("MG_OVERLAP"), "overlap the halo exchange with interior compute (nonblocking Isend/Irecv; default $MG_OVERLAP)")
+		threads      = flag.Int("threads", 1, "worker threads per rank for the plane loops (hybrid MPI×SMP; 1 = serial)")
 	)
 	flag.Parse()
 
@@ -193,6 +207,8 @@ func main() {
 		fatalf("%v", err)
 	}
 	solver.Trace = tracer
+	solver.Overlap = *overlap
+	solver.Threads = *threads
 	if *dieAfterIter > 0 {
 		solver.OnIter = func(rank, iter int) {
 			if iter == *dieAfterIter {
@@ -238,6 +254,7 @@ func main() {
 	if *jsonOut {
 		json.NewEncoder(os.Stdout).Encode(result{
 			Rank: *rank, Ranks: *np, Class: string(class.Name),
+			Overlap: *overlap, Threads: *threads,
 			Rnm2: rnm2, Rnm2Bits: math.Float64bits(rnm2), Rnmu: rnmu,
 			Verified: ok, Seconds: seconds,
 			Messages: st.Messages, Bytes: st.Bytes,

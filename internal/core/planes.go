@@ -1,0 +1,48 @@
+// Interior/boundary plane splitting for communication/computation
+// overlap. A distributed kernel that wants to hide its halo exchange
+// computes the planes adjacent to the exchanged faces first, puts them
+// on the wire, and fills the interior while the network drains — the
+// split Bianco & Varetto's generic stencil library builds its
+// distributed performance on. The association order of every plane is
+// unchanged (each plane's statements are those of the unsplit loop, only
+// the global plane order differs), so results stay bit-identical; the
+// split is pure schedule.
+package core
+
+// PlaneSpan is an inclusive range [Lo, Hi] of grid planes along the
+// decomposed axis. An empty span has Hi < Lo.
+type PlaneSpan struct {
+	Lo, Hi int
+}
+
+// Empty reports whether the span contains no planes.
+func (s PlaneSpan) Empty() bool { return s.Hi < s.Lo }
+
+// Count returns the number of planes in the span.
+func (s PlaneSpan) Count() int {
+	if s.Empty() {
+		return 0
+	}
+	return s.Hi - s.Lo + 1
+}
+
+// SplitPlanes partitions the interior planes of an extended grid of n0
+// planes (interior 1..n0-2, halo planes 0 and n0-1) into the boundary
+// planes — those a periodic face exchange along the decomposed axis puts
+// on the wire, in the order they should be computed and sent — and the
+// interior span whose computation can overlap that exchange.
+//
+// With one interior plane the single plane is both faces (it is sent in
+// both directions); with two there is no overlappable interior at all.
+// SplitPlanes panics below one interior plane: such a level must be
+// agglomerated, never exchanged.
+func SplitPlanes(n0 int) (boundary []int, interior PlaneSpan) {
+	lp := n0 - 2
+	if lp < 1 {
+		panic("core: SplitPlanes needs at least one interior plane")
+	}
+	if lp == 1 {
+		return []int{1}, PlaneSpan{Lo: 2, Hi: 1}
+	}
+	return []int{1, lp}, PlaneSpan{Lo: 2, Hi: lp - 1}
+}

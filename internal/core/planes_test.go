@@ -1,0 +1,54 @@
+package core
+
+import "testing"
+
+func TestSplitPlanes(t *testing.T) {
+	cases := []struct {
+		n0       int
+		boundary []int
+		interior PlaneSpan
+	}{
+		{3, []int{1}, PlaneSpan{2, 1}},          // one interior plane: both faces
+		{4, []int{1, 2}, PlaneSpan{2, 1}},       // two planes: nothing to overlap
+		{5, []int{1, 3}, PlaneSpan{2, 2}},       // one overlappable plane
+		{34, []int{1, 32}, PlaneSpan{2, 31}},    // class-S slab over 8 ranks
+		{258, []int{1, 256}, PlaneSpan{2, 255}}, // class-A slab, 1 rank
+	}
+	for _, c := range cases {
+		boundary, interior := SplitPlanes(c.n0)
+		if len(boundary) != len(c.boundary) {
+			t.Fatalf("n0=%d: boundary %v, want %v", c.n0, boundary, c.boundary)
+		}
+		for i := range boundary {
+			if boundary[i] != c.boundary[i] {
+				t.Fatalf("n0=%d: boundary %v, want %v", c.n0, boundary, c.boundary)
+			}
+		}
+		if interior != c.interior {
+			t.Fatalf("n0=%d: interior %+v, want %+v", c.n0, interior, c.interior)
+		}
+		// The split must cover the interior exactly once.
+		seen := map[int]bool{}
+		for _, p := range boundary {
+			seen[p] = true
+		}
+		for p := interior.Lo; p <= interior.Hi; p++ {
+			if seen[p] {
+				t.Fatalf("n0=%d: plane %d both boundary and interior", c.n0, p)
+			}
+			seen[p] = true
+		}
+		if got, want := len(seen), c.n0-2; got != want {
+			t.Fatalf("n0=%d: split covers %d planes, want %d", c.n0, got, want)
+		}
+		if got := interior.Count(); got != c.n0-2-len(c.boundary) {
+			t.Fatalf("n0=%d: interior Count=%d", c.n0, got)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("SplitPlanes(2) did not panic")
+		}
+	}()
+	SplitPlanes(2)
+}

@@ -76,7 +76,7 @@ func TestRunDistributed(t *testing.T) {
 func TestRunFigComm(t *testing.T) {
 	bin := buildMgrank(t)
 	dir := t.TempDir()
-	rep, err := RunFigComm(io.Discard, bin, nas.ClassS, 4, dir)
+	rep, err := RunFigComm(io.Discard, bin, nas.ClassS, 4, false, dir)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -144,6 +144,33 @@ func TestRunFigComm(t *testing.T) {
 	}
 	if exchanged == 0 {
 		t.Fatal("no rank pair exchanged traffic")
+	}
+}
+
+// TestRunFigCommOverlap runs the same traced distributed experiment
+// with the nonblocking overlapped exchange (FW-3d): every gate in
+// RunFigComm — bit-identity against the overlapped channel reference,
+// pairing, the (relaxed) attribution gate, Perfetto validation — must
+// hold, and the report's overlap efficiency must stay well-formed.
+func TestRunFigCommOverlap(t *testing.T) {
+	bin := buildMgrank(t)
+	dir := t.TempDir()
+	rep, err := RunFigComm(io.Discard, bin, nas.ClassS, 4, true, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Ranks != 4 || rep.Matched == 0 {
+		t.Fatalf("report ranks=%d matched=%d", rep.Ranks, rep.Matched)
+	}
+	if rep.OverlapEfficiency < 0 || rep.OverlapEfficiency > 1 {
+		t.Fatalf("overlap efficiency %g outside [0,1]", rep.OverlapEfficiency)
+	}
+	text, err := os.ReadFile(filepath.Join(dir, "commreport.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(text), "overlap efficiency") {
+		t.Fatalf("commreport.txt lacks the overlap efficiency line:\n%s", text)
 	}
 }
 

@@ -97,3 +97,81 @@ func (o *commObserver) Recv(src, tag int) ([]float64, error) {
 	})
 	return data, nil
 }
+
+// Isend emits its send event at post time — the message is on its way
+// from here, and the pairing window against the matching recv must span
+// the compute the caller overlaps, not collapse to the Wait. Nanos is
+// the post call's own (near-zero) duration; the blocked tail lives in
+// the transport's Wait-side accounting. The sequence number is taken at
+// post, which is delivery order on a FIFO stream.
+func (o *commObserver) Isend(dst, tag int, data []float64) mpi.Request {
+	start := time.Now()
+	req := o.inner.Isend(dst, tag, data)
+	k := seqKey{dst, tag}
+	seq := o.sendSeq[k]
+	o.sendSeq[k] = seq + 1
+	o.tr.Emit(metrics.Event{
+		Ev: "send", Rank: o.rank, Peer: dst, Tag: tag,
+		Level: o.level, Iter: o.iter,
+		Bytes: int64(8 * len(data)), Seq: seq,
+		Nanos: int64(time.Since(start)),
+	})
+	return req
+}
+
+// Irecv assigns the stream sequence number at post (post order is
+// delivery order on a FIFO stream) but emits the recv event from the
+// first Wait, when the payload — and its true size — exists. The event's
+// Nanos is the time that Wait blocked: the exposed (non-overlapped) part
+// of the exchange, which is exactly what the overlap report should see.
+func (o *commObserver) Irecv(src, tag int) mpi.Request {
+	k := seqKey{src, tag}
+	seq := o.recvSeq[k]
+	o.recvSeq[k] = seq + 1
+	return &tracedRecv{
+		req: o.inner.Irecv(src, tag),
+		o:   o, src: src, tag: tag, seq: seq,
+		level: o.level, iter: o.iter,
+	}
+}
+
+// tracedRecv wraps an Irecv request to emit the recv trace event exactly
+// once, on the first successful Wait/Test. The level/iter context is
+// captured at post time — the event must describe the phase that posted
+// the receive, not whatever phase the solver is in when it waits.
+type tracedRecv struct {
+	req         mpi.Request
+	o           *commObserver
+	src, tag    int
+	seq         uint64
+	level, iter int
+	emitted     bool
+}
+
+func (r *tracedRecv) emit(data []float64, err error, nanos int64) {
+	if r.emitted || err != nil {
+		return
+	}
+	r.emitted = true
+	r.o.tr.Emit(metrics.Event{
+		Ev: "recv", Rank: r.o.rank, Peer: r.src, Tag: r.tag,
+		Level: r.level, Iter: r.iter,
+		Bytes: int64(8 * len(data)), Seq: r.seq,
+		Nanos: nanos,
+	})
+}
+
+func (r *tracedRecv) Wait() ([]float64, error) {
+	start := time.Now()
+	data, err := r.req.Wait()
+	r.emit(data, err, int64(time.Since(start)))
+	return data, err
+}
+
+func (r *tracedRecv) Test() (bool, []float64, error) {
+	done, data, err := r.req.Test()
+	if done {
+		r.emit(data, err, 0)
+	}
+	return done, data, err
+}

@@ -40,6 +40,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/mpi"
 	"repro/internal/nas"
+	"repro/internal/sched"
 	"repro/internal/shape"
 	"repro/internal/stencil"
 )
@@ -83,6 +84,19 @@ type Solver struct {
 	// reduction. cmd/mgrank uses it to kill a rank mid-solve at a
 	// deterministic point for fault-injection tests.
 	OnIter func(rank, iter int)
+	// Overlap selects the nonblocking halo exchange: each kernel computes
+	// its boundary planes first, posts Irecv/Isend for the axis-0 face
+	// exchange, fills the interior planes while the wire drains, and only
+	// then waits (DESIGN.md §4.7). Per-iteration rnm2 is bit-identical to
+	// the synchronous path — the split reorders whole planes, never the
+	// statements within one. Requires a 1-D slab decomposition (Procs =
+	// (R,1,1)); runRank panics otherwise.
+	Overlap bool
+	// Threads is the number of sched.Pool workers each rank drives over
+	// its plane loops (hybrid MPI×SMP). 0 or 1 keeps the rank serial.
+	// Planes are disjoint per worker and folded in plane order, so rnm2
+	// stays bit-identical for every thread count.
+	Threads int
 
 	world     *mpi.World    // in-process mode (New/New3D)
 	transport mpi.Transport // single-rank mode (NewWithTransport)
@@ -190,6 +204,10 @@ func (s *Solver) RunRank() (rnm2, rnmu float64) {
 // runRank is the per-rank benchmark body, identical under both modes.
 func (s *Solver) runRank(c *mpi.Comm) (rnm2, rnmu float64) {
 	rank := c.Rank()
+	if s.Overlap && (s.Procs[1] > 1 || s.Procs[2] > 1) {
+		panic(fmt.Sprintf("mgmpi: overlap requires a 1-D slab decomposition, got procs (%d,%d,%d)",
+			s.Procs[0], s.Procs[1], s.Procs[2]))
+	}
 	var obs *commObserver
 	if s.Trace != nil {
 		// Interpose the trace observer between the solver and the
@@ -199,6 +217,11 @@ func (s *Solver) runRank(c *mpi.Comm) (rnm2, rnmu float64) {
 		c = mpi.NewComm(obs)
 	}
 	st := newRankState(c, s.Class, s.Procs)
+	st.overlap = s.Overlap
+	if s.Threads > 1 {
+		st.pool = sched.NewPool(s.Threads)
+		defer st.pool.Close()
+	}
 	st.obs = obs
 	if s.Trace != nil {
 		tr := s.Trace
@@ -271,6 +294,12 @@ type rankState struct {
 	// serialComm redirects comm3 to serial plane copies while rank 0
 	// works on agglomerated full grids.
 	serialComm bool
+
+	// overlap selects the nonblocking interior/boundary-split exchange
+	// (Solver.Overlap); pool, when non-nil, fans each kernel's plane loop
+	// over multiple workers (Solver.Threads). Both nil/false by default.
+	overlap bool
+	pool    *sched.Pool
 
 	// obs, when tracing, is the transport observer whose level/iter
 	// fields tag every send/recv event; spanFn emits per-level kernel
@@ -570,15 +599,24 @@ func row(d []float64, i, j, n1, n2 int) []float64 {
 }
 
 // resid computes r = v − A·u over the box interior and refreshes the
-// periodic boundary.
+// periodic boundary — synchronously, or with the interior planes
+// overlapping the halo exchange (fusedComm3).
 func (st *rankState) resid(u, v, r *array.Array) {
+	st.fusedComm3(r, func(lo, hi int) { st.residPlanes(u, v, r, lo, hi) })
+}
+
+// residPlanes computes r's planes [lo, hi] (inclusive). Scratch is
+// per-call, so disjoint plane ranges may run on concurrent workers; each
+// plane's statements are those of the full loop, so any plane schedule
+// yields bit-identical values.
+func (st *rankState) residPlanes(u, v, r *array.Array, lo, hi int) {
 	shp := u.Shape()
-	n0, n1, n2 := shp[0], shp[1], shp[2]
+	n1, n2 := shp[1], shp[2]
 	ud, vd, rd := u.Data(), v.Data(), r.Data()
 	a0, a2, a3 := st.a[0], st.a[2], st.a[3]
 	u1 := make([]float64, n2)
 	u2 := make([]float64, n2)
-	for i3 := 1; i3 < n0-1; i3++ {
+	for i3 := lo; i3 <= hi; i3++ {
 		for i2 := 1; i2 < n1-1; i2++ {
 			uMM, uMZ, uMP := row(ud, i3-1, i2-1, n1, n2), row(ud, i3-1, i2, n1, n2), row(ud, i3-1, i2+1, n1, n2)
 			uZM, uZZ, uZP := row(ud, i3, i2-1, n1, n2), row(ud, i3, i2, n1, n2), row(ud, i3, i2+1, n1, n2)
@@ -596,18 +634,22 @@ func (st *rankState) resid(u, v, r *array.Array) {
 			}
 		}
 	}
-	st.comm3(r)
 }
 
 // psinv computes u += S·r over the box interior and refreshes u's halo.
 func (st *rankState) psinv(r, u *array.Array) {
+	st.fusedComm3(u, func(lo, hi int) { st.psinvPlanes(r, u, lo, hi) })
+}
+
+// psinvPlanes computes u's planes [lo, hi] (inclusive); see residPlanes.
+func (st *rankState) psinvPlanes(r, u *array.Array, lo, hi int) {
 	shp := u.Shape()
-	n0, n1, n2 := shp[0], shp[1], shp[2]
+	n1, n2 := shp[1], shp[2]
 	rd, ud := r.Data(), u.Data()
 	c0, c1, c2 := st.cs[0], st.cs[1], st.cs[2]
 	r1 := make([]float64, n2)
 	r2 := make([]float64, n2)
-	for i3 := 1; i3 < n0-1; i3++ {
+	for i3 := lo; i3 <= hi; i3++ {
 		for i2 := 1; i2 < n1-1; i2++ {
 			rMM, rMZ, rMP := row(rd, i3-1, i2-1, n1, n2), row(rd, i3-1, i2, n1, n2), row(rd, i3-1, i2+1, n1, n2)
 			rZM, rZZ, rZP := row(rd, i3, i2-1, n1, n2), row(rd, i3, i2, n1, n2), row(rd, i3, i2+1, n1, n2)
@@ -625,20 +667,25 @@ func (st *rankState) psinv(r, u *array.Array) {
 			}
 		}
 	}
-	st.comm3(u)
 }
 
 // rprj3 restricts the fine box rk to the coarse box rj. Box alignment
 // makes the cell mapping local along every axis: coarse local (j3,j2,j1)
 // sits under fine local (2j3, 2j2, 2j1).
 func (st *rankState) rprj3(rk, rj *array.Array) {
+	st.fusedComm3(rj, func(lo, hi int) { st.rprj3Planes(rk, rj, lo, hi) })
+}
+
+// rprj3Planes computes rj's coarse planes [lo, hi] (inclusive); see
+// residPlanes.
+func (st *rankState) rprj3Planes(rk, rj *array.Array, lo, hi int) {
 	fs, cs := rk.Shape(), rj.Shape()
 	fn1, fn2 := fs[1], fs[2]
-	cn0, cn1, cn2 := cs[0], cs[1], cs[2]
+	cn1, cn2 := cs[1], cs[2]
 	rd, sd := rk.Data(), rj.Data()
 	x1 := make([]float64, fn2)
 	y1 := make([]float64, fn2)
-	for j3 := 1; j3 < cn0-1; j3++ {
+	for j3 := lo; j3 <= hi; j3++ {
 		i3 := 2 * j3
 		for j2 := 1; j2 < cn1-1; j2++ {
 			i2 := 2 * j2
@@ -661,7 +708,6 @@ func (st *rankState) rprj3(rk, rj *array.Array) {
 			}
 		}
 	}
-	st.comm3(rj)
 }
 
 // interpKernel adds the trilinear prolongation of the coarse boxes
@@ -671,6 +717,15 @@ func (st *rankState) rprj3(rk, rj *array.Array) {
 // agglomeration boundary (z the full grid, lo = this rank's coarse
 // offset).
 func interpKernel(z, u *array.Array, lo, count [3]int) {
+	interpPlanes(z, u, lo, count, lo[0], lo[0]+count[0])
+}
+
+// interpPlanes prolongs the coarse planes [p0, p1] (inclusive, a
+// sub-range of lo[0]..lo[0]+count[0]) of z onto u. Each coarse plane
+// writes only its own pair of fine planes, so disjoint ranges may run on
+// concurrent workers; fine plane anchoring stays relative to lo[0]
+// regardless of the sub-range.
+func interpPlanes(z, u *array.Array, lo, count [3]int, p0, p1 int) {
 	zs, us := z.Shape(), u.Shape()
 	zn1, zn2 := zs[1], zs[2]
 	un1, un2 := us[1], us[2]
@@ -679,7 +734,7 @@ func interpKernel(z, u *array.Array, lo, count [3]int) {
 	z2 := make([]float64, zn2)
 	z3 := make([]float64, zn2)
 	kLo, kHi := lo[2], lo[2]+count[2] // coarse cells along the row axis
-	for c3 := lo[0]; c3 <= lo[0]+count[0]; c3++ {
+	for c3 := p0; c3 <= p1; c3++ {
 		f3 := 2 * (c3 - lo[0])
 		for c2 := lo[1]; c2 <= lo[1]+count[1]; c2++ {
 			f2 := 2 * (c2 - lo[1])
@@ -721,7 +776,7 @@ func interpKernel(z, u *array.Array, lo, count [3]int) {
 // cell c under fine local 2c along every axis, covering the fine halos).
 func (st *rankState) interpBox(z, u *array.Array) {
 	zs := z.Shape()
-	interpKernel(z, u, [3]int{0, 0, 0}, [3]int{zs[0] - 2, zs[1] - 2, zs[2] - 2})
+	st.interp(z, u, [3]int{0, 0, 0}, [3]int{zs[0] - 2, zs[1] - 2, zs[2] - 2})
 }
 
 // boundaryInterp prolongs the (broadcast) full coarse grid onto this
@@ -734,7 +789,14 @@ func (st *rankState) boundaryInterp(zFull, u *array.Array) {
 		lo[a] = st.coord[a] * lpf / 2
 		count[a] = lpf / 2
 	}
-	interpKernel(zFull, u, lo, count)
+	st.interp(zFull, u, lo, count)
+}
+
+// interp fans the prolongation's coarse-plane loop over the rank's pool.
+func (st *rankState) interp(z, u *array.Array, lo, count [3]int) {
+	st.forPlanes(lo[0], lo[0]+count[0], func(p0, p1 int) {
+		interpPlanes(z, u, lo, count, p0, p1)
+	})
 }
 
 // --- driver -----------------------------------------------------------------------
@@ -844,22 +906,34 @@ func (st *rankState) norms() (rnm2, rnmu float64) {
 	d := r.Data()
 	lp := shp[0] - 2 // planes owned along the decomposed axis 0
 	planes := make([]float64, lp, lp+1)
-	var maxAbs float64
-	for i3 := 1; i3 <= lp; i3++ {
-		var planeSum float64
-		for i2 := 1; i2 < shp[1]-1; i2++ {
-			base := (i3*shp[1] + i2) * shp[2]
-			var rowSum float64
-			for i1 := 1; i1 < shp[2]-1; i1++ {
-				v := d[base+i1]
-				rowSum += v * v
-				if a := math.Abs(v); a > maxAbs {
-					maxAbs = a
+	planeMax := make([]float64, lp)
+	// Per-plane partials may run on concurrent workers: each plane writes
+	// its own slot, and the serial folds below (ascending planes for the
+	// sum, any order for the max) keep the canonical association.
+	st.forPlanes(1, lp, func(lo, hi int) {
+		for i3 := lo; i3 <= hi; i3++ {
+			var planeSum, planeAbs float64
+			for i2 := 1; i2 < shp[1]-1; i2++ {
+				base := (i3*shp[1] + i2) * shp[2]
+				var rowSum float64
+				for i1 := 1; i1 < shp[2]-1; i1++ {
+					v := d[base+i1]
+					rowSum += v * v
+					if a := math.Abs(v); a > planeAbs {
+						planeAbs = a
+					}
 				}
+				planeSum += rowSum
 			}
-			planeSum += rowSum
+			planes[i3-1] = planeSum
+			planeMax[i3-1] = planeAbs
 		}
-		planes[i3-1] = planeSum
+	})
+	var maxAbs float64
+	for _, m := range planeMax {
+		if m > maxAbs {
+			maxAbs = m
+		}
 	}
 	total := float64(st.class.N)
 	total = total * total * total

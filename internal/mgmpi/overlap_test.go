@@ -1,0 +1,157 @@
+package mgmpi
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/metrics"
+	"repro/internal/nas"
+)
+
+// iterBits runs one configuration and returns the bit patterns of every
+// intermediate and final rnm2 the solve reports.
+func iterBits(t *testing.T, class nas.Class, ranks, threads int, overlap bool) []uint64 {
+	t.Helper()
+	s := New(class, ranks)
+	s.Overlap = overlap
+	s.Threads = threads
+	var bits []uint64
+	s.IterNorms = func(_ int, rnm2, _ float64) {
+		bits = append(bits, math.Float64bits(rnm2))
+	}
+	rnm2, _ := s.Run()
+	if verified, ok := class.Verify(rnm2); !ok || !verified {
+		t.Fatalf("ranks=%d threads=%d overlap=%v: rnm2 %.13e did not verify",
+			ranks, threads, overlap, rnm2)
+	}
+	return append(bits, math.Float64bits(rnm2))
+}
+
+// TestOverlapBitIdentical is the tentpole's differential acceptance
+// test: the overlapped halo exchange and the hybrid thread fan-out are
+// pure schedule changes, so every intermediate rnm2 must be bitwise
+// identical to the synchronous single-threaded solve — across rank
+// counts, thread counts, and both exchange modes.
+func TestOverlapBitIdentical(t *testing.T) {
+	want := iterBits(t, nas.ClassS, 1, 1, false)
+	for _, ranks := range []int{1, 2, 4} {
+		for _, threads := range []int{1, 2} {
+			for _, overlap := range []bool{false, true} {
+				name := fmt.Sprintf("ranks=%d threads=%d overlap=%v", ranks, threads, overlap)
+				got := iterBits(t, nas.ClassS, ranks, threads, overlap)
+				if len(got) != len(want) {
+					t.Fatalf("%s: %d norms, want %d", name, len(got), len(want))
+				}
+				for i := range got {
+					if got[i] != want[i] {
+						t.Fatalf("%s: norm %d = %016x, want %016x (not bit-identical)",
+							name, i, got[i], want[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+// The overlapped exchange ships exactly the synchronous exchange's
+// messages — same count, same payload volume — it only moves when they
+// are posted and waited.
+func TestOverlapCommVolumeMatches(t *testing.T) {
+	sync := New(nas.ClassS, 4)
+	sync.Run()
+	over := New(nas.ClassS, 4)
+	over.Overlap = true
+	over.Run()
+	ss, os := sync.Stats(), over.Stats()
+	if ss.Messages != os.Messages || ss.Bytes != os.Bytes {
+		t.Fatalf("volume diverged: sync %d msgs/%d B, overlap %d msgs/%d B",
+			ss.Messages, ss.Bytes, os.Messages, os.Bytes)
+	}
+	// Blocked time still decomposes exactly onto the per-peer rows:
+	// overlap moves it into the Waits, it must not leak out of the stats.
+	for rank, st := range over.RankStats() {
+		if st.BlockedNanos() != st.ExchangeNanos {
+			t.Errorf("rank %d: per-peer blocked %d != ExchangeNanos %d",
+				rank, st.BlockedNanos(), st.ExchangeNanos)
+		}
+	}
+}
+
+// Overlap requires a slab decomposition: the interior/boundary split
+// only hides the axis-0 exchange, so a 3-D processor grid must be
+// rejected loudly, not silently run a half-overlapped solve.
+func TestOverlapNonSlabPanics(t *testing.T) {
+	s := New3D(nas.ClassS, 2, 2, 1)
+	s.Overlap = true
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("overlap on a non-slab decomposition did not panic")
+		}
+		if msg := fmt.Sprint(r); !strings.Contains(msg, "slab") {
+			t.Fatalf("panic %q does not name the slab requirement", msg)
+		}
+	}()
+	s.Run()
+}
+
+// A traced overlap run keeps the observability invariants: the solve
+// verifies, per rank the send events equal the transport's message
+// count, and every send pairs with exactly one recv under the
+// (src, dst, tag, seq) key — with send events stamped at post time and
+// recv events at Wait.
+func TestOverlapTracedPairing(t *testing.T) {
+	var buf bytes.Buffer
+	tr := metrics.NewTracer(&buf)
+	s := New(nas.ClassS, 4)
+	s.Overlap = true
+	s.Trace = tr
+	rnm2, _ := s.Run()
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if verified, ok := nas.ClassS.Verify(rnm2); !ok || !verified {
+		t.Fatalf("traced overlap run did not verify: rnm2 = %.13e", rnm2)
+	}
+	events, err := metrics.ReadEvents(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	type pairKey struct {
+		src, dst, tag int
+		seq           uint64
+	}
+	sendsByRank := map[int]uint64{}
+	sends := map[pairKey]int{}
+	recvs := map[pairKey]int{}
+	for _, e := range events {
+		switch e.Ev {
+		case "send":
+			sendsByRank[e.Rank]++
+			sends[pairKey{e.Rank, e.Peer, e.Tag, e.Seq}]++
+		case "recv":
+			recvs[pairKey{e.Peer, e.Rank, e.Tag, e.Seq}]++
+		}
+	}
+	for rank, st := range s.RankStats() {
+		if sendsByRank[rank] != st.Messages {
+			t.Errorf("rank %d: %d send events != %d messages sent", rank, sendsByRank[rank], st.Messages)
+		}
+	}
+	if len(sends) == 0 {
+		t.Fatal("no send events in a traced overlap run")
+	}
+	for k, n := range sends {
+		if n != 1 || recvs[k] != 1 {
+			t.Errorf("send %+v seen %d times, matched by %d recvs (want 1/1)", k, n, recvs[k])
+		}
+	}
+	for k := range recvs {
+		if sends[k] != 1 {
+			t.Errorf("recv %+v has no matching send", k)
+		}
+	}
+}

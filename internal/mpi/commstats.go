@@ -136,6 +136,31 @@ func (r *CommRecorder) RecordSend(peer, tag int, payloadBytes uint64, blockedNan
 	r.mu.Unlock()
 }
 
+// RecordSendPosted accounts a nonblocking send at post time: the message
+// and byte counters and the departure-queue depth, but no blocked time —
+// for nonblocking operations blocked time is measured inside Wait
+// (RecordSendWait), not inside the post call. The blocked-time histogram
+// therefore gets exactly one sample per message in both APIs: the call
+// for blocking sends, the Wait for nonblocking ones.
+func (r *CommRecorder) RecordSendPosted(peer, tag int, payloadBytes uint64, queueDepth int) {
+	r.mu.Lock()
+	p := r.row(peer, tag)
+	p.SentMsgs++
+	p.SentBytes += payloadBytes
+	r.depth.Observe(int64(queueDepth))
+	r.mu.Unlock()
+}
+
+// RecordSendWait accounts the blocked time of a nonblocking send's first
+// Wait, completing the row its RecordSendPosted opened.
+func (r *CommRecorder) RecordSendWait(peer, tag int, blockedNanos int64) {
+	r.mu.Lock()
+	p := r.row(peer, tag)
+	p.SendBlockedNanos += blockedNanos
+	r.blocked.Observe(blockedNanos)
+	r.mu.Unlock()
+}
+
 // RecordRecv accounts one completed receive.
 func (r *CommRecorder) RecordRecv(peer, tag int, payloadBytes uint64, blockedNanos int64) {
 	r.mu.Lock()

@@ -141,6 +141,9 @@ type Transport struct {
 	msgs, payloadBytes, wireBytes atomic.Uint64
 	exchangeNanos                 atomic.Int64
 	rec                           mpi.CommRecorder
+
+	sendChain mpi.OpChain // per-dst FIFO of in-flight nonblocking sends
+	recvChain mpi.OpChain // per-src FIFO of in-flight nonblocking receives
 }
 
 var _ mpi.Transport = (*Transport)(nil)
@@ -199,6 +202,29 @@ func (t *Transport) Stats() mpi.Stats {
 	return s
 }
 
+// awaitChain blocks until a still-in-flight nonblocking predecessor on
+// the same stream completes, so a blocking call posted after an Isend or
+// Irecv cannot overtake it (per-pair FIFO holds across both APIs). The
+// time spent here falls inside the blocking call's own elapsed window,
+// so it is accounted exactly like any other wait.
+func (t *Transport) awaitChain(prev *mpi.AsyncRequest, peer, tag int, op string) error {
+	if prev == nil {
+		return nil
+	}
+	timer := time.NewTimer(t.cfg.IOTimeout)
+	defer timer.Stop()
+	select {
+	case <-prev.Done():
+		return nil
+	case <-t.failed:
+		return t.failErr
+	case <-t.closed:
+		return net.ErrClosed
+	case <-timer.C:
+		return &TimeoutError{Peer: peer, Tag: tag, Op: op, Wait: t.cfg.IOTimeout}
+	}
+}
+
 // Send frames data and enqueues it on dst's writer. It blocks only when
 // the bounded queue is full (backpressure), and at most IOTimeout.
 func (t *Transport) Send(dst, tag int, data []float64) error {
@@ -206,6 +232,9 @@ func (t *Transport) Send(dst, tag int, data []float64) error {
 		return fmt.Errorf("invalid destination rank %d (world size %d, self %d)", dst, t.size, t.rank)
 	}
 	start := time.Now()
+	if err := t.awaitChain(t.sendChain.Pending(dst), dst, tag, "Send (pending Isend)"); err != nil {
+		return err
+	}
 	frame := encodeFrame(t.rank, tag, data)
 	p := t.peers[dst]
 	depth := len(p.out)
@@ -241,6 +270,9 @@ func (t *Transport) Recv(src, tag int) ([]float64, error) {
 		return nil, fmt.Errorf("invalid source rank %d (world size %d, self %d)", src, t.size, t.rank)
 	}
 	start := time.Now()
+	if err := t.awaitChain(t.recvChain.Pending(src), src, tag, "Recv (pending Irecv)"); err != nil {
+		return nil, err
+	}
 	p := t.peers[src]
 	var m inMsg
 	select {
@@ -271,6 +303,147 @@ func (t *Transport) Recv(src, tag int) ([]float64, error) {
 	elapsed := int64(time.Since(start))
 	t.exchangeNanos.Add(elapsed)
 	t.rec.RecordRecv(src, tag, uint64(8*len(m.data)), elapsed)
+	return m.data, nil
+}
+
+// Isend frames data at post time and hands it to dst's writer without
+// blocking: the per-peer writer queue is already asynchronous under the
+// hood, so the fast path is one non-blocking channel send. Message, byte
+// and wire counters are recorded here — the frame is in flight whether or
+// not the Request is ever waited — while blocked time (a full writer
+// queue, or a transport failure) is charged to the first Wait. A dead
+// peer therefore surfaces as the typed error (PeerDeadError et al.) at
+// Wait, never as a hang.
+func (t *Transport) Isend(dst, tag int, data []float64) mpi.Request {
+	if dst < 0 || dst >= t.size || dst == t.rank {
+		return mpi.CompletedRequest(nil, fmt.Errorf("invalid destination rank %d (world size %d, self %d)", dst, t.size, t.rank))
+	}
+	frame := encodeFrame(t.rank, tag, data)
+	p := t.peers[dst]
+	depth := len(p.out)
+	t.msgs.Add(1)
+	t.payloadBytes.Add(uint64(8 * len(data)))
+	t.wireBytes.Add(uint64(len(frame)))
+	t.rec.RecordSendPosted(dst, tag, uint64(8*len(data)), depth)
+	req := mpi.NewRequest(func(blocked int64, _ []float64, _ error) {
+		t.exchangeNanos.Add(blocked)
+		t.rec.RecordSendWait(dst, tag, blocked)
+	})
+	prev := t.sendChain.Push(dst, req)
+	if prev == nil {
+		select {
+		case p.out <- frame:
+			req.Complete(nil, nil)
+			return req
+		default:
+		}
+	}
+	go t.finishIsend(req, prev, p, dst, tag, frame)
+	return req
+}
+
+// finishIsend completes a slow-path Isend: after the chained predecessor
+// (if any), enqueue under the same failure/timeout watches blocking Send
+// has.
+func (t *Transport) finishIsend(req, prev *mpi.AsyncRequest, p *peer, dst, tag int, frame []byte) {
+	timer := time.NewTimer(t.cfg.IOTimeout)
+	defer timer.Stop()
+	if prev != nil {
+		select {
+		case <-prev.Done():
+		case <-t.failed:
+			req.Complete(nil, t.failErr)
+			return
+		case <-t.closed:
+			req.Complete(nil, net.ErrClosed)
+			return
+		case <-timer.C:
+			req.Complete(nil, &TimeoutError{Peer: dst, Tag: tag, Op: "Isend (writer queue full)", Wait: t.cfg.IOTimeout})
+			return
+		}
+	}
+	select {
+	case p.out <- frame:
+		req.Complete(nil, nil)
+	case <-t.failed:
+		req.Complete(nil, t.failErr)
+	case <-t.closed:
+		req.Complete(nil, net.ErrClosed)
+	case <-timer.C:
+		req.Complete(nil, &TimeoutError{Peer: dst, Tag: tag, Op: "Isend (writer queue full)", Wait: t.cfg.IOTimeout})
+	}
+}
+
+// Irecv posts a receive against src's reader inbox. Nothing is recorded
+// at post time; the receive row and blocked time are recorded by the
+// first Wait — a dropped Request consumes its message in the background
+// but was never observed by the caller.
+func (t *Transport) Irecv(src, tag int) mpi.Request {
+	if src < 0 || src >= t.size || src == t.rank {
+		return mpi.CompletedRequest(nil, fmt.Errorf("invalid source rank %d (world size %d, self %d)", src, t.size, t.rank))
+	}
+	p := t.peers[src]
+	req := mpi.NewRequest(func(blocked int64, data []float64, err error) {
+		t.exchangeNanos.Add(blocked)
+		if err == nil {
+			t.rec.RecordRecv(src, tag, uint64(8*len(data)), blocked)
+		}
+	})
+	prev := t.recvChain.Push(src, req)
+	if prev == nil {
+		select {
+		case m := <-p.inbox:
+			req.Complete(t.checkTag(m, src, tag))
+			return req
+		default:
+		}
+	}
+	go t.finishIrecv(req, prev, p, src, tag)
+	return req
+}
+
+// finishIrecv completes a slow-path Irecv after its chained predecessor,
+// with the same delivered-just-before-failure drain nicety blocking Recv
+// has.
+func (t *Transport) finishIrecv(req, prev *mpi.AsyncRequest, p *peer, src, tag int) {
+	timer := time.NewTimer(t.cfg.IOTimeout)
+	defer timer.Stop()
+	if prev != nil {
+		select {
+		case <-prev.Done():
+		case <-t.failed:
+			req.Complete(nil, t.failErr)
+			return
+		case <-t.closed:
+			req.Complete(nil, net.ErrClosed)
+			return
+		case <-timer.C:
+			req.Complete(nil, &TimeoutError{Peer: src, Tag: tag, Op: "Irecv", Wait: t.cfg.IOTimeout})
+			return
+		}
+	}
+	select {
+	case m := <-p.inbox:
+		req.Complete(t.checkTag(m, src, tag))
+	case <-t.failed:
+		select {
+		case m := <-p.inbox:
+			req.Complete(t.checkTag(m, src, tag))
+		default:
+			req.Complete(nil, t.failErr)
+		}
+	case <-t.closed:
+		req.Complete(nil, net.ErrClosed)
+	case <-timer.C:
+		req.Complete(nil, &TimeoutError{Peer: src, Tag: tag, Op: "Irecv", Wait: t.cfg.IOTimeout})
+	}
+}
+
+// checkTag validates a popped message against the posted receive's tag.
+func (t *Transport) checkTag(m inMsg, src, tag int) ([]float64, error) {
+	if m.tag != tag {
+		return nil, fmt.Errorf("expected tag %d from rank %d, got tag %d", tag, src, m.tag)
+	}
 	return m.data, nil
 }
 
